@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablations over NosWalker's own design knobs (DESIGN.md §5, beyond
+ * the paper's figures): pre-sample quota, low-degree direct-reserve
+ * cutoff, the fine-mode α factor, pre-sample pool share, and the
+ * loaded-block-as-presamples optimization (§3.3.5).
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "bench_common.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+void
+run_with(bench::BenchEnv &env, bench::GraphHandle &h,
+         const core::EngineConfig &cfg, const std::string &label)
+{
+    apps::BasicRandomWalk app(10, h.file->num_vertices());
+    core::NosWalkerEngine<apps::BasicRandomWalk> eng(*h.file,
+                                                     *h.partition, cfg);
+    const auto s = eng.run(app, h.file->num_vertices() / 2);
+    bench::print_table_row(
+        {label, bench::fmt_double(s.modeled_seconds(), 4),
+         bench::fmt_bytes(s.total_io_bytes()),
+         bench::fmt_double(s.edges_per_step(), 2),
+         bench::fmt_count(s.presample_steps),
+         bench::fmt_count(s.stalls)});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    bench::GraphHandle &h = env.get(graph::DatasetId::kKron30);
+    const core::EngineConfig base = env.noswalker_config(h);
+    const std::vector<std::string> cols = {
+        "Config", "time(s)", "io", "edges/step", "ps-steps", "stalls"};
+
+    bench::print_table_header("Ablation: base pre-sample quota k", cols);
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+        core::EngineConfig cfg = base;
+        cfg.presamples_per_vertex = k;
+        run_with(env, h, cfg, "k=" + std::to_string(k));
+    }
+
+    bench::print_table_header("Ablation: low-degree cutoff", cols);
+    for (std::uint32_t cutoff : {0u, 1u, 2u, 4u, 8u}) {
+        core::EngineConfig cfg = base;
+        cfg.low_degree_cutoff = cutoff;
+        run_with(env, h, cfg, "cutoff=" + std::to_string(cutoff));
+    }
+
+    bench::print_table_header("Ablation: fine-mode alpha", cols);
+    for (double alpha : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        core::EngineConfig cfg = base;
+        cfg.alpha = alpha;
+        run_with(env, h, cfg, "alpha=" + bench::fmt_double(alpha, 0));
+    }
+
+    bench::print_table_header("Ablation: pre-sample pool share", cols);
+    for (double share : {0.1, 0.2, 0.4, 0.6}) {
+        core::EngineConfig cfg = base;
+        cfg.presample_memory_fraction = share;
+        run_with(env, h, cfg, "share=" + bench::fmt_double(share, 1));
+    }
+
+    bench::print_table_header("Ablation: loaded-block-as-presamples",
+                              cols);
+    {
+        core::EngineConfig cfg = base;
+        run_with(env, h, cfg, "on");
+        cfg.use_loaded_block = false;
+        run_with(env, h, cfg, "off");
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 2 reproduction: (a) average edge records loaded per step and
+ * (b) average step rate, for DrunkardMob / GraphWalker / NosWalker on
+ * the K30' twin under a ~12 % memory budget.
+ *
+ * Paper values: edges/step 32 / 23 / 6.4, step rate 0.5 / 5.6 / 84.7
+ * Msteps/s.  Expected shape: DrunkardMob > GraphWalker >> NosWalker on
+ * edges/step and the reverse on step rate.
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/drunkardmob.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+
+using namespace noswalker;
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor (largest twin)
+    bench::GraphHandle &h = env.get(graph::DatasetId::kKron30);
+    const std::uint64_t budget = env.budget_for(h);
+    const std::uint64_t walkers = h.file->num_vertices() / 4;
+    const std::uint32_t length = 10;
+
+    std::printf("Figure 2: basic RW on %s, %llu walkers, length %u, "
+                "budget %s\n",
+                h.spec.name.c_str(),
+                static_cast<unsigned long long>(walkers), length,
+                bench::fmt_bytes(budget).c_str());
+    bench::print_table_header(
+        "Fig 2", {"System", "edges/step", "steps/s", "io", "paper e/s"});
+
+    {
+        apps::BasicRandomWalk app(length, h.file->num_vertices());
+        baselines::DrunkardMobEngine<apps::BasicRandomWalk> eng(
+            *h.file, *h.partition, budget);
+        const auto s = eng.run(app, walkers);
+        bench::print_table_row({"DrunkardMob",
+                                bench::fmt_double(s.edges_per_step(), 2),
+                                bench::fmt_count(static_cast<std::uint64_t>(
+                                    s.step_rate())),
+                                bench::fmt_bytes(s.total_io_bytes()),
+                                "32"});
+    }
+    {
+        apps::BasicRandomWalk app(length, h.file->num_vertices());
+        baselines::GraphWalkerEngine<apps::BasicRandomWalk> eng(
+            *h.file, *h.partition, budget);
+        const auto s = eng.run(app, walkers);
+        bench::print_table_row({"GraphWalker",
+                                bench::fmt_double(s.edges_per_step(), 2),
+                                bench::fmt_count(static_cast<std::uint64_t>(
+                                    s.step_rate())),
+                                bench::fmt_bytes(s.total_io_bytes()),
+                                "23"});
+    }
+    {
+        apps::BasicRandomWalk app(length, h.file->num_vertices());
+        core::NosWalkerEngine<apps::BasicRandomWalk> eng(
+            *h.file, *h.partition, env.noswalker_config(h));
+        const auto s = eng.run(app, walkers);
+        bench::print_table_row({"NosWalker",
+                                bench::fmt_double(s.edges_per_step(), 2),
+                                bench::fmt_count(static_cast<std::uint64_t>(
+                                    s.step_rate())),
+                                bench::fmt_bytes(s.total_io_bytes()),
+                                "6.4"});
+    }
+    return 0;
+}

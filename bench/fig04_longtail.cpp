@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 4 reproduction: GraphWalker's long tail.  Basic RW with one
+ * walker per vertex on K30' and K31'; after each block I/O we report
+ * the number of unterminated walkers (the paper's line) and the
+ * fraction of the loaded block actually accessed at page granularity
+ * (the paper's dots).  Expected shape: the accessed fraction collapses
+ * as walkers thin out, while a long tail of I/Os serves few walkers.
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+void
+run_trace(bench::BenchEnv &env, graph::DatasetId id)
+{
+    bench::GraphHandle &h = env.get(id);
+    const std::uint64_t budget = env.budget_for(h);
+    apps::BasicRandomWalk app(10, h.file->num_vertices());
+    baselines::GraphWalkerEngine<apps::BasicRandomWalk> eng(
+        *h.file, *h.partition, budget);
+    std::vector<baselines::GraphWalkerLoadTrace> trace;
+    eng.set_trace(&trace);
+    const auto stats = eng.run(app, h.file->num_vertices());
+
+    bench::print_table_header(
+        "Fig 4 (" + h.spec.name + ")",
+        {"io#", "unterminated", "accessed%"});
+    // Print ~20 evenly spaced trace points plus the tail.
+    const std::size_t stride =
+        trace.size() > 20 ? trace.size() / 20 : 1;
+    for (std::size_t i = 0; i < trace.size(); i += stride) {
+        bench::print_table_row(
+            {std::to_string(trace[i].io_index),
+             bench::fmt_count(trace[i].unterminated_walkers),
+             bench::fmt_double(trace[i].accessed_fraction * 100.0, 1)});
+    }
+    if (!trace.empty()) {
+        const auto &last = trace.back();
+        bench::print_table_row(
+            {std::to_string(last.io_index),
+             bench::fmt_count(last.unterminated_walkers),
+             bench::fmt_double(last.accessed_fraction * 100.0, 1)});
+    }
+
+    // The long-tail summary the paper quotes: the last 30 % of I/Os
+    // serve how many walkers?
+    if (trace.size() > 3) {
+        const std::size_t tail_start = trace.size() * 7 / 10;
+        const double tail_walkers =
+            static_cast<double>(trace[tail_start].unterminated_walkers);
+        const double total =
+            static_cast<double>(trace.front().unterminated_walkers);
+        std::printf("last 30%% of I/Os executed the final %.1f%% of "
+                    "walkers (paper: ~3%%); total I/Os %zu, steps %llu\n",
+                    100.0 * tail_walkers / total, trace.size(),
+                    static_cast<unsigned long long>(stats.steps));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    run_trace(env, graph::DatasetId::kKron30);
+    run_trace(env, graph::DatasetId::kKron31);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 9 reproduction: the four real-world applications (PPR,
+ * SimRank, RWD, Graphlet Concentration) on the five main twins under
+ * the three out-of-core systems.  Parameters follow §4.2, scaled:
+ * PPR 4 sources × 200 walks × L10; SR 1 pair × 200 walks × L11;
+ * RWD one walker per vertex × L6; GC |V|/100 walkers × L3.
+ *
+ * Expected shape: NosWalker fastest everywhere; DrunkardMob OOMs on
+ * the largest twins when walker state exceeds the budget; speedups
+ * grow with graph size.
+ */
+#include <cstdio>
+#include <functional>
+
+#include "apps/graphlet.hpp"
+#include "apps/ppr.hpp"
+#include "apps/rwd.hpp"
+#include "apps/simrank.hpp"
+#include "baselines/drunkardmob.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+#include "util/error.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+const graph::DatasetId kGraphs[] = {
+    graph::DatasetId::kTwitter, graph::DatasetId::kYahoo,
+    graph::DatasetId::kKron30, graph::DatasetId::kKron31,
+    graph::DatasetId::kCrawlWeb};
+
+template <typename App, typename MakeApp>
+void
+run_application(bench::BenchEnv &env, const char *name, MakeApp &&make)
+{
+    bench::print_table_header(
+        std::string("Fig 9: ") + name,
+        {"Dataset", "App", "System", "time(s)", "io", "edges/step",
+         "steps"});
+    for (const graph::DatasetId id : kGraphs) {
+        bench::GraphHandle &h = env.get(id);
+        const std::uint64_t budget = env.budget_for(h);
+        {
+            auto app = make(h);
+            try {
+                baselines::DrunkardMobEngine<App> eng(*h.file,
+                                                      *h.partition,
+                                                      budget);
+                const auto s = eng.run(app, app.total_walkers());
+                bench::print_run(h.spec.name, name, s);
+            } catch (const util::BudgetExceeded &) {
+                bench::print_table_row({h.spec.name, name, "DrunkardMob",
+                                        "OOM", "-", "-", "-"});
+            }
+        }
+        {
+            auto app = make(h);
+            baselines::GraphWalkerEngine<App> eng(*h.file, *h.partition,
+                                                  budget);
+            bench::print_run(h.spec.name, name,
+                             eng.run(app, app.total_walkers()));
+        }
+        {
+            auto app = make(h);
+            core::NosWalkerEngine<App> eng(*h.file, *h.partition,
+                                           env.noswalker_config(h));
+            bench::print_run(h.spec.name, name,
+                             eng.run(app, app.total_walkers()));
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+
+    run_application<apps::PersonalizedPageRank>(
+        env, "PPR", [](bench::GraphHandle &h) {
+            const graph::VertexId v = h.file->num_vertices();
+            std::vector<graph::VertexId> sources = {
+                v / 7, v / 3, v / 2, v - 1};
+            return apps::PersonalizedPageRank(sources, 200, 10);
+        });
+
+    run_application<apps::SimRank>(env, "SR", [](bench::GraphHandle &h) {
+        const graph::VertexId v = h.file->num_vertices();
+        return apps::SimRank(v / 5, v / 2, 200, 11);
+    });
+
+    run_application<apps::RandomWalkDomination>(
+        env, "RWD", [](bench::GraphHandle &h) {
+            return apps::RandomWalkDomination(h.file->num_vertices(), 6,
+                                              /*record_visits=*/false);
+        });
+
+    run_application<apps::GraphletConcentration>(
+        env, "GC", [](bench::GraphHandle &h) {
+            const std::uint64_t walkers =
+                std::max<std::uint64_t>(64, h.file->num_vertices() / 100);
+            return apps::GraphletConcentration(h.file->num_vertices(),
+                                               walkers, 3);
+        });
+    return 0;
+}

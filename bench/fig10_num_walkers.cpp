@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10 reproduction: basic RW time vs the number of walkers
+ * (length fixed at 10) on each twin, for the three out-of-core
+ * systems.  The paper sweeps 10^3..10^10; the twins sweep a
+ * proportionally scaled range.
+ *
+ * Expected shape: DrunkardMob/GraphWalker stay flat while walkers are
+ * few (the whole graph is streamed regardless — loading dominates),
+ * so NosWalker's speedup peaks at small walker counts, up to two
+ * orders of magnitude.
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/drunkardmob.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+#include "util/error.hpp"
+
+using namespace noswalker;
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    const graph::DatasetId graphs[] = {
+        graph::DatasetId::kTwitter, graph::DatasetId::kYahoo,
+        graph::DatasetId::kKron30, graph::DatasetId::kKron31,
+        graph::DatasetId::kCrawlWeb};
+
+    for (const graph::DatasetId id : graphs) {
+        bench::GraphHandle &h = env.get(id);
+        const std::uint64_t budget = env.budget_for(h);
+        bench::print_table_header(
+            "Fig 10 (" + h.spec.name + ", L=10)",
+            {"walkers", "DrunkardMob", "GraphWalker", "NosWalker",
+             "speedup"});
+        // Scaled sweep: 2^4 .. |V| walkers in decades.
+        for (std::uint64_t walkers = 16;
+             walkers <= 4ULL * h.file->num_vertices(); walkers *= 8) {
+            std::string dm_cell = "OOM";
+            double dm_time = -1.0;
+            try {
+                apps::BasicRandomWalk app(10, h.file->num_vertices());
+                baselines::DrunkardMobEngine<apps::BasicRandomWalk> eng(
+                    *h.file, *h.partition, budget);
+                dm_time = eng.run(app, walkers).modeled_seconds();
+                dm_cell = bench::fmt_double(dm_time, 4);
+            } catch (const util::BudgetExceeded &) {
+            }
+            apps::BasicRandomWalk a2(10, h.file->num_vertices());
+            baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(
+                *h.file, *h.partition, budget);
+            const double gw_time =
+                gw.run(a2, walkers).modeled_seconds();
+            apps::BasicRandomWalk a3(10, h.file->num_vertices());
+            core::NosWalkerEngine<apps::BasicRandomWalk> nw(
+                *h.file, *h.partition, env.noswalker_config(h));
+            const double nw_time =
+                nw.run(a3, walkers).modeled_seconds();
+            bench::print_table_row(
+                {bench::fmt_count(walkers), dm_cell,
+                 bench::fmt_double(gw_time, 4),
+                 bench::fmt_double(nw_time, 4),
+                 bench::fmt_double(gw_time / nw_time, 1) + "x"});
+        }
+    }
+    return 0;
+}

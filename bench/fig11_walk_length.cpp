@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 11 reproduction: basic RW time vs walk length with the
+ * walker count fixed (paper: 10^6; scaled here to |V|/8 per twin),
+ * for the three out-of-core systems.
+ *
+ * Expected shape: all systems scale roughly linearly in L on the
+ * out-of-core twins, with NosWalker holding a 30–95x edge over
+ * GraphWalker in the paper (a large constant factor here).
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/drunkardmob.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+#include "util/error.hpp"
+
+using namespace noswalker;
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    const graph::DatasetId graphs[] = {
+        graph::DatasetId::kTwitter, graph::DatasetId::kYahoo,
+        graph::DatasetId::kKron30, graph::DatasetId::kKron31,
+        graph::DatasetId::kCrawlWeb};
+
+    for (const graph::DatasetId id : graphs) {
+        bench::GraphHandle &h = env.get(id);
+        const std::uint64_t budget = env.budget_for(h);
+        const std::uint64_t walkers =
+            std::max<std::uint64_t>(64, h.file->num_vertices() / 8);
+        bench::print_table_header(
+            "Fig 11 (" + h.spec.name + ", walkers=" +
+                bench::fmt_count(walkers) + ")",
+            {"length", "DrunkardMob", "GraphWalker", "NosWalker",
+             "speedup"});
+        for (std::uint32_t length = 4; length <= 128; length *= 4) {
+            std::string dm_cell = "OOM";
+            try {
+                apps::BasicRandomWalk app(length,
+                                          h.file->num_vertices());
+                baselines::DrunkardMobEngine<apps::BasicRandomWalk> eng(
+                    *h.file, *h.partition, budget);
+                dm_cell = bench::fmt_double(
+                    eng.run(app, walkers).modeled_seconds(), 4);
+            } catch (const util::BudgetExceeded &) {
+            }
+            apps::BasicRandomWalk a2(length, h.file->num_vertices());
+            baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(
+                *h.file, *h.partition, budget);
+            const double gw_time =
+                gw.run(a2, walkers).modeled_seconds();
+            apps::BasicRandomWalk a3(length, h.file->num_vertices());
+            core::NosWalkerEngine<apps::BasicRandomWalk> nw(
+                *h.file, *h.partition, env.noswalker_config(h));
+            const double nw_time =
+                nw.run(a3, walkers).modeled_seconds();
+            bench::print_table_row(
+                {std::to_string(length), dm_cell,
+                 bench::fmt_double(gw_time, 4),
+                 bench::fmt_double(nw_time, 4),
+                 bench::fmt_double(gw_time / nw_time, 1) + "x"});
+        }
+    }
+    return 0;
+}

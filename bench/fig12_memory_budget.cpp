@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 12 reproduction.
+ *
+ * (a) NosWalker speedup over GraphWalker on K30' as the memory budget
+ *     varies from 10 % to 50 % of the graph, for several walker
+ *     counts (the paper's 0.5B/1B/2B/4B scale to |V|/2 .. 4|V|).
+ *     Expected shape: speedup rises sharply from 10 % to 20 % (the
+ *     pre-sample pool starves at 10 %) and grows with walker count.
+ *
+ * (b,c) The same workloads on the RAID-0 cost model (3.4 GiB/s seq but
+ *     only 150k IOPS): NosWalker keeps a 15–40x edge even though its
+ *     fine-grained mode is IOPS-hungry.
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/graphwalker.hpp"
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+#include "storage/raid_device.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+double
+run_noswalker(bench::GraphHandle &h, std::uint64_t budget,
+              std::uint64_t walkers, std::uint32_t length)
+{
+    apps::BasicRandomWalk app(length, h.file->num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(
+        budget, h.partition->target_block_bytes());
+    core::NosWalkerEngine<apps::BasicRandomWalk> eng(*h.file,
+                                                     *h.partition, cfg);
+    return eng.run(app, walkers).modeled_seconds();
+}
+
+double
+run_graphwalker(bench::GraphHandle &h, std::uint64_t budget,
+                std::uint64_t walkers, std::uint32_t length)
+{
+    apps::BasicRandomWalk app(length, h.file->num_vertices());
+    baselines::GraphWalkerEngine<apps::BasicRandomWalk> eng(
+        *h.file, *h.partition, budget);
+    return eng.run(app, walkers).modeled_seconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchEnv env;
+    bench::GraphHandle &h = env.get(graph::DatasetId::kKron30);
+    const graph::VertexId v = h.file->num_vertices();
+
+    // (a) budget sweep.
+    bench::print_table_header(
+        "Fig 12(a): NosWalker speedup vs GraphWalker, K30'",
+        {"budget%", "w=|V|/2", "w=|V|", "w=2|V|", "w=4|V|"});
+    const std::uint64_t walker_counts[] = {v / 2, v, 2ULL * v, 4ULL * v};
+    for (int pct = 10; pct <= 50; pct += 10) {
+        std::vector<std::string> row = {std::to_string(pct) + "%"};
+        const std::uint64_t budget = std::max(
+            bench::BenchEnv::floor_for(h),
+            static_cast<std::uint64_t>(pct / 100.0 *
+                                       static_cast<double>(
+                                           h.file->file_bytes())));
+        for (const std::uint64_t walkers : walker_counts) {
+            const double gw = run_graphwalker(h, budget, walkers, 10);
+            const double nw = run_noswalker(h, budget, walkers, 10);
+            row.push_back(bench::fmt_double(gw / nw, 1) + "x");
+        }
+        bench::print_table_row(row);
+    }
+
+    // (b, c) RAID-0: rebuild K30' on the array cost model.
+    auto raid = storage::Raid0Device::paper_array();
+    graph::GraphFile::write(h.reference, *raid);
+    graph::GraphFile raid_file(*raid);
+    graph::BlockPartition raid_part(
+        raid_file, h.partition->target_block_bytes());
+    bench::GraphHandle raid_handle;
+    raid_handle.spec = h.spec;
+
+    const std::uint64_t budget = std::max(
+        bench::BenchEnv::floor_for(h),
+        static_cast<std::uint64_t>(0.12 * static_cast<double>(
+                                              h.file->file_bytes())));
+
+    bench::print_table_header(
+        "Fig 12(b): RAID-0, walker sweep (L=10)",
+        {"walkers", "GraphWalker", "NosWalker", "speedup"});
+    for (std::uint64_t walkers = 64; walkers <= 4ULL * v; walkers *= 16) {
+        apps::BasicRandomWalk a1(10, v);
+        baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(
+            raid_file, raid_part, budget);
+        const double tg = gw.run(a1, walkers).modeled_seconds();
+        apps::BasicRandomWalk a2(10, v);
+        core::EngineConfig cfg = core::EngineConfig::full(
+            budget, raid_part.target_block_bytes());
+        core::NosWalkerEngine<apps::BasicRandomWalk> nw(raid_file,
+                                                        raid_part, cfg);
+        const double tn = nw.run(a2, walkers).modeled_seconds();
+        bench::print_table_row({bench::fmt_count(walkers),
+                                bench::fmt_double(tg, 4),
+                                bench::fmt_double(tn, 4),
+                                bench::fmt_double(tg / tn, 1) + "x"});
+    }
+
+    bench::print_table_header(
+        "Fig 12(c): RAID-0, length sweep (walkers=|V|/8)",
+        {"length", "GraphWalker", "NosWalker", "speedup"});
+    for (std::uint32_t length = 16; length <= 256; length *= 4) {
+        apps::BasicRandomWalk a1(length, v);
+        baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(
+            raid_file, raid_part, budget);
+        const double tg = gw.run(a1, v / 8).modeled_seconds();
+        apps::BasicRandomWalk a2(length, v);
+        core::EngineConfig cfg = core::EngineConfig::full(
+            budget, raid_part.target_block_bytes());
+        core::NosWalkerEngine<apps::BasicRandomWalk> nw(raid_file,
+                                                        raid_part, cfg);
+        const double tn = nw.run(a2, v / 8).modeled_seconds();
+        bench::print_table_row({std::to_string(length),
+                                bench::fmt_double(tg, 4),
+                                bench::fmt_double(tn, 4),
+                                bench::fmt_double(tg / tn, 1) + "x"});
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 15 reproduction: second-order Node2Vec walk generation,
+ * NosWalker (rejection-sampling decoupled workflow, Appendix A) vs
+ * GraSorw (triangular bi-block scheduling).  Paper settings scaled:
+ * p = 2, q = 0.5, L = 10, walkers per vertex 10 → 2, on undirected
+ * versions of TW'/YH'/K30'/K31'.
+ *
+ * Expected shape: ~3x on the in-memory-sized TW', growing to 10–49x
+ * on the twins larger than the budget.
+ */
+#include <cstdio>
+
+#include "apps/node2vec.hpp"
+#include "baselines/grasorw.hpp"
+#include "bench_common.hpp"
+#include "graph/builder.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+/** Undirected (symmetrized) variant of a twin, as Node2Vec requires. */
+struct UndirectedHandle {
+    graph::CsrGraph graph;
+    std::unique_ptr<storage::MemDevice> device;
+    std::unique_ptr<graph::GraphFile> file;
+    std::unique_ptr<graph::BlockPartition> partition;
+};
+
+UndirectedHandle
+make_undirected(const bench::GraphHandle &handle)
+{
+    UndirectedHandle u;
+    std::vector<graph::Edge> edges;
+    edges.reserve(handle.reference.num_edges());
+    for (graph::VertexId v = 0; v < handle.reference.num_vertices();
+         ++v) {
+        for (graph::VertexId t : handle.reference.neighbors(v)) {
+            edges.push_back({v, t, 1.0f});
+        }
+    }
+    graph::BuildOptions opt;
+    opt.symmetrize = true;
+    opt.dedup = true;
+    opt.num_vertices = handle.reference.num_vertices();
+    u.graph = graph::build_csr(std::move(edges), opt);
+    u.device = std::make_unique<storage::MemDevice>(
+        storage::SsdModel::p4618());
+    graph::GraphFile::write(u.graph, *u.device);
+    u.file = std::make_unique<graph::GraphFile>(*u.device);
+    const std::uint64_t block_bytes = std::max<std::uint64_t>(
+        16 * 1024, u.file->edge_region_bytes() / 32);
+    u.partition =
+        std::make_unique<graph::BlockPartition>(*u.file, block_bytes);
+    return u;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    const graph::DatasetId graphs[] = {
+        graph::DatasetId::kTwitter, graph::DatasetId::kYahoo,
+        graph::DatasetId::kKron30, graph::DatasetId::kKron31};
+
+    bench::print_table_header(
+        "Fig 15: Node2Vec (p=2, q=0.5, L=10, 2 walkers/vertex)",
+        {"Dataset", "GraSorw", "NosWalker", "speedup", "io GS",
+         "io NW"});
+    for (const graph::DatasetId id : graphs) {
+        bench::GraphHandle &h = env.get(id);
+        UndirectedHandle u = make_undirected(h);
+        const std::uint64_t budget = std::max(
+            bench::BenchEnv::floor_for(h),
+            static_cast<std::uint64_t>(
+                0.12 *
+                static_cast<double>(
+                    env.get(graph::DatasetId::kCrawlWeb)
+                        .file->file_bytes())));
+
+        apps::Node2Vec a1(2.0, 0.5, 10, u.file->num_vertices(), 2);
+        baselines::GraSorwEngine<apps::Node2Vec> gs(*u.file,
+                                                    *u.partition, budget);
+        const auto sg = gs.run(a1, a1.total_walkers());
+
+        apps::Node2Vec a2(2.0, 0.5, 10, u.file->num_vertices(), 2);
+        core::EngineConfig cfg = core::EngineConfig::full(
+            budget, u.partition->target_block_bytes());
+        core::NosWalkerEngine<apps::Node2Vec> nw(*u.file, *u.partition,
+                                                 cfg);
+        const auto sn = nw.run(a2, a2.total_walkers());
+
+        bench::print_table_row(
+            {h.spec.name, bench::fmt_double(sg.modeled_seconds(), 4),
+             bench::fmt_double(sn.modeled_seconds(), 4),
+             bench::fmt_double(sg.modeled_seconds() /
+                                   sn.modeled_seconds(),
+                               1) +
+                 "x",
+             bench::fmt_bytes(sg.total_io_bytes()),
+             bench::fmt_bytes(sn.total_io_bytes())});
+    }
+    return 0;
+}

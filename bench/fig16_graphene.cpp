@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 16 reproduction: Graphene-style on-demand I/O vs NosWalker
+ * on K30' with L = 10 across walker counts.  Expected shape:
+ * Graphene's storage-order iteration loses by a widening margin as
+ * walkers get sparse (up to 80x in the paper).
+ */
+#include <cstdio>
+
+#include "apps/basic_rw.hpp"
+#include "baselines/graphene.hpp"
+#include "bench_common.hpp"
+#include "util/error.hpp"
+
+using namespace noswalker;
+
+int
+main()
+{
+    bench::BenchEnv env;
+    env.get(graph::DatasetId::kCrawlWeb); // budget anchor
+    bench::GraphHandle &h = env.get(graph::DatasetId::kKron30);
+    const std::uint64_t budget = env.budget_for(h);
+
+    bench::print_table_header(
+        "Fig 16: Graphene vs NosWalker (K30', L=10)",
+        {"walkers", "Graphene", "NosWalker", "speedup"});
+    for (std::uint64_t walkers = 64;
+         walkers <= 4ULL * h.file->num_vertices(); walkers *= 8) {
+        std::string ge_cell = "OOM";
+        double tg = -1.0;
+        try {
+            // Graphene keeps all walker states in memory and can OOM
+            // on large walker counts, like DrunkardMob.
+            apps::BasicRandomWalk a1(10, h.file->num_vertices());
+            baselines::GrapheneEngine<apps::BasicRandomWalk> ge(
+                *h.file, *h.partition, budget);
+            tg = ge.run(a1, walkers).modeled_seconds();
+            ge_cell = bench::fmt_double(tg, 4);
+        } catch (const util::BudgetExceeded &) {
+        }
+        apps::BasicRandomWalk a2(10, h.file->num_vertices());
+        core::NosWalkerEngine<apps::BasicRandomWalk> nw(
+            *h.file, *h.partition, env.noswalker_config(h));
+        const double tn = nw.run(a2, walkers).modeled_seconds();
+        bench::print_table_row(
+            {bench::fmt_count(walkers), ge_cell,
+             bench::fmt_double(tn, 4),
+             tg < 0 ? "-" : bench::fmt_double(tg / tn, 1) + "x"});
+    }
+    return 0;
+}

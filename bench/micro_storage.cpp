@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrates: the §3.3.1 SSD
+ * tradeoff under the cost model, block-reader coarse/fine paths, alias
+ * sampling, pre-sample buffer operations, and the RNG.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/presample_buffer.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "storage/block_reader.hpp"
+#include "storage/mem_device.hpp"
+#include "util/alias_table.hpp"
+#include "util/rng.hpp"
+
+using namespace noswalker;
+
+namespace {
+
+struct MicroFixture {
+    MicroFixture()
+    {
+        graph = graph::generate_rmat({.scale = 12,
+                                      .edge_factor = 16,
+                                      .a = 0.57,
+                                      .b = 0.19,
+                                      .c = 0.19,
+                                      .seed = 7,
+                                      .symmetrize = false,
+                                      .weighted = false});
+        device = std::make_unique<storage::MemDevice>(
+            storage::SsdModel::p4618());
+        graph::GraphFile::write(graph, *device);
+        file = std::make_unique<graph::GraphFile>(*device);
+        partition = std::make_unique<graph::BlockPartition>(
+            *file, file->edge_region_bytes() / 32);
+    }
+
+    graph::CsrGraph graph;
+    std::unique_ptr<storage::MemDevice> device;
+    std::unique_ptr<graph::GraphFile> file;
+    std::unique_ptr<graph::BlockPartition> partition;
+};
+
+MicroFixture &
+fixture()
+{
+    static MicroFixture f;
+    return f;
+}
+
+void
+BM_SsdModelRequest(benchmark::State &state)
+{
+    const storage::SsdModel m = storage::SsdModel::p4618();
+    const auto len = static_cast<std::uint64_t>(state.range(0));
+    double total = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(total += m.request_seconds(len));
+    }
+    state.counters["modeled_MiBps"] = benchmark::Counter(
+        static_cast<double>(len) / m.request_seconds(len) / (1 << 20));
+}
+BENCHMARK(BM_SsdModelRequest)->Arg(4096)->Arg(64 << 10)->Arg(8 << 20);
+
+void
+BM_CoarseBlockLoad(benchmark::State &state)
+{
+    MicroFixture &f = fixture();
+    util::MemoryBudget budget(0);
+    storage::BlockReader reader(*f.file, budget);
+    storage::BlockBuffer buffer;
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const auto r =
+            reader.load_coarse(f.partition->block(0), buffer);
+        bytes += r.bytes_read;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CoarseBlockLoad);
+
+void
+BM_FineBlockLoad(benchmark::State &state)
+{
+    MicroFixture &f = fixture();
+    util::MemoryBudget budget(0);
+    storage::BlockReader reader(*f.file, budget);
+    storage::BlockBuffer buffer;
+    const graph::BlockInfo &block = f.partition->block(0);
+    std::vector<graph::VertexId> needed;
+    const auto count = static_cast<graph::VertexId>(state.range(0));
+    for (graph::VertexId v = block.first_vertex;
+         v < block.first_vertex + count && v < block.end_vertex; ++v) {
+        needed.push_back(v);
+    }
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const auto r = reader.load_fine(block, needed, buffer);
+        bytes += r.bytes_read;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FineBlockLoad)->Arg(1)->Arg(16)->Arg(256);
+
+void
+BM_AliasTableSample(benchmark::State &state)
+{
+    util::Rng rng(3);
+    std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+    for (double &w : weights) {
+        w = rng.next_double() + 0.01;
+    }
+    util::AliasTable table(weights);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sink += table.sample(rng));
+    }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(8)->Arg(1024)->Arg(1 << 16);
+
+void
+BM_PreSampleBuildAndDrain(benchmark::State &state)
+{
+    MicroFixture &f = fixture();
+    util::MemoryBudget unbudgeted(0);
+    storage::BlockReader reader(*f.file, unbudgeted);
+    storage::BlockBuffer buffer;
+    const graph::BlockInfo &block = f.partition->block(0);
+    reader.load_coarse(block, buffer);
+    util::Rng rng(5);
+    core::PreSampleBuffer::BuildParams params;
+    params.max_bytes = 1 << 20;
+    for (auto _ : state) {
+        util::MemoryBudget budget(0);
+        core::PreSampleBuffer ps(*f.file, block, params, nullptr,
+                                 budget);
+        auto sampler = [&](const graph::VertexView &view) {
+            return view.sample_uniform(rng);
+        };
+        for (graph::VertexId v = block.first_vertex;
+             v < block.end_vertex; ++v) {
+            if (ps.quota(v) > 0) {
+                ps.fill_vertex(buffer.view(*f.file, v), sampler);
+            }
+        }
+        std::uint64_t drained = 0;
+        for (graph::VertexId v = block.first_vertex;
+             v < block.end_vertex; ++v) {
+            while (ps.has(v) && !ps.is_direct(v)) {
+                benchmark::DoNotOptimize(ps.top(v));
+                ps.pop(v);
+                ++drained;
+            }
+        }
+        benchmark::DoNotOptimize(drained);
+    }
+}
+BENCHMARK(BM_PreSampleBuildAndDrain);
+
+void
+BM_RngNextIndex(benchmark::State &state)
+{
+    util::Rng rng(9);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sink += rng.next_index(1000003));
+    }
+}
+BENCHMARK(BM_RngNextIndex);
+
+} // namespace
+
+BENCHMARK_MAIN();

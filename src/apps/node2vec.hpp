@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Node2Vec second-order random walk (paper §4.5, Appendix A).
+ *
+ * The transition weight out of v for a walker that arrived from u is
+ * 1/p toward u itself (d_ux = 0), 1 toward common neighbours of u
+ * (d_ux = 1) and 1/q otherwise (d_ux = 2).  Sampling decouples through
+ * rejection sampling: Action records a uniformly pre-sampled candidate
+ * x and a trial height h ∈ [0, max(1/p, 1, 1/q)); Rejection accepts x
+ * when h falls under x's dynamic weight, which requires only x's
+ * adjacency (u ∈ N(x) on an undirected graph ⟺ x ∈ N(u)).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "engine/app.hpp"
+#include "engine/walker.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::apps {
+
+/** Second-order Node2Vec walk (Algorithm 4). */
+class Node2Vec {
+  public:
+    using WalkerT = engine::SecondOrderWalker;
+
+    /**
+     * @param p,q              return / in-out hyper-parameters
+     *                         (paper: p = 2, q = 0.5).
+     * @param length           accepted steps per walker.
+     * @param num_vertices     vertex count.
+     * @param walks_per_vertex walkers per start vertex (paper: 10).
+     */
+    Node2Vec(double p, double q, std::uint32_t length,
+             graph::VertexId num_vertices,
+             std::uint32_t walks_per_vertex = 10)
+        : inv_p_(1.0 / p), inv_q_(1.0 / q), length_(length),
+          num_vertices_(num_vertices), walks_per_vertex_(walks_per_vertex)
+    {
+        h_max_ = std::max({inv_p_, 1.0, inv_q_});
+    }
+
+    std::uint64_t
+    total_walkers() const
+    {
+        return static_cast<std::uint64_t>(num_vertices_) *
+               walks_per_vertex_;
+    }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        WalkerT w;
+        w.id = n;
+        w.location = static_cast<graph::VertexId>(
+            (n / walks_per_vertex_) % num_vertices_);
+        w.step = 0;
+        w.prev = graph::kInvalidVertex;
+        w.candidate = graph::kInvalidVertex;
+        return w;
+    }
+
+    /** Candidates are drawn uniformly; weights apply at rejection. */
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_uniform(rng);
+    }
+
+    bool active(const WalkerT &w) const { return w.step < length_; }
+
+    /** Record a candidate + trial height (Algorithm 4 lines 8-12). */
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &rng)
+    {
+        if (w.candidate != graph::kInvalidVertex) {
+            return false; // trial pending; sample not consumed
+        }
+        w.candidate = next;
+        w.h = static_cast<float>(rng.next_double(h_max_));
+        return true;
+    }
+
+    bool
+    has_candidate(const WalkerT &w) const
+    {
+        return w.candidate != graph::kInvalidVertex;
+    }
+
+    graph::VertexId candidate(const WalkerT &w) const
+    {
+        return w.candidate;
+    }
+
+    /**
+     * Resolve the trial given the *candidate's* adjacency
+     * (Algorithm 4 lines 13-24).  @return true when accepted (= the
+     * walker moved one step).
+     */
+    bool
+    rejection(WalkerT &w, const graph::VertexView &candidate_view,
+              util::Rng &)
+    {
+        double weight;
+        if (w.prev == graph::kInvalidVertex) {
+            weight = h_max_; // first step is uniform: always accept
+        } else if (w.candidate == w.prev) {
+            weight = inv_p_; // d = 0
+        } else if (candidate_view.has_target(w.prev)) {
+            weight = 1.0; // d = 1 (undirected: prev ∈ N(candidate))
+        } else {
+            weight = inv_q_; // d = 2
+        }
+        const bool accept = w.h <= weight;
+        if (accept) {
+            w.prev = w.location;
+            w.location = w.candidate;
+            ++w.step;
+        }
+        w.candidate = graph::kInvalidVertex;
+        return accept;
+    }
+
+    double h_max() const { return h_max_; }
+
+  private:
+    double inv_p_;
+    double inv_q_;
+    double h_max_;
+    std::uint32_t length_;
+    graph::VertexId num_vertices_;
+    std::uint32_t walks_per_vertex_;
+};
+
+static_assert(engine::SecondOrderApp<Node2Vec>);
+
+} // namespace noswalker::apps

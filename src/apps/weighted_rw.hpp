@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Weighted random walk (Algorithm 2 of the paper; the K30W workload of
+ * §4.4).  Sampling is weight-proportional — O(1) when the graph file
+ * carries pre-built alias tables, O(degree) otherwise.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "engine/app.hpp"
+#include "engine/walker.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::apps {
+
+/** Weight-proportional random walk of fixed length. */
+class WeightedRandomWalk {
+  public:
+    using WalkerT = engine::Walker;
+
+    WeightedRandomWalk(std::uint32_t length, graph::VertexId num_vertices,
+                       std::uint64_t seed = 7)
+        : length_(length), num_vertices_(num_vertices), seed_(seed)
+    {
+    }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        util::SplitMix64 mix(seed_ ^ n);
+        return WalkerT{
+            n, static_cast<graph::VertexId>(mix.next() % num_vertices_),
+            0};
+    }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_weighted(rng);
+    }
+
+    bool active(const WalkerT &w) const { return w.step < length_; }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &)
+    {
+        w.location = next;
+        ++w.step;
+        return true;
+    }
+
+  private:
+    std::uint32_t length_;
+    graph::VertexId num_vertices_;
+    std::uint64_t seed_;
+};
+
+static_assert(engine::RandomWalkApp<WeightedRandomWalk>);
+
+} // namespace noswalker::apps

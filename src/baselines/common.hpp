@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Constants shared by the baseline reimplementations.
+ */
+#pragma once
+
+namespace noswalker::baselines {
+
+/**
+ * Disk utilisation of GraphChi's buffered, synchronous I/O path.
+ * The paper (§4.4) measures 20–30 % for GraphWalker against 70–90 %
+ * for NosWalker's async I/O; modeled time divides device busy time by
+ * this factor (DESIGN.md §2).
+ */
+inline constexpr double kBufferedIoEfficiency = 0.25;
+
+} // namespace noswalker::baselines

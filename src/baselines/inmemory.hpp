@@ -1,0 +1,126 @@
+/**
+ * @file
+ * In-memory walk engine (ThunderRW-like; paper §5.2, Fig 17).
+ *
+ * Loads the entire edge region into memory in large sequential reads,
+ * then walks at memory speed.  Reports the load phase (device busy
+ * time) and the walk phase (CPU time) separately — the paper's Fig 17
+ * "Walk" vs "Total" bars — because ~75 % of ThunderRW's end-to-end time
+ * is graph loading, which NosWalker pipelines away.
+ */
+#pragma once
+
+#include <vector>
+
+#include "engine/app.hpp"
+#include "engine/run_stats.hpp"
+#include "graph/graph_file.hpp"
+#include "util/memory_budget.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace noswalker::baselines {
+
+/** Load-then-walk in-memory engine; handles first and second order. */
+template <engine::RandomWalkApp App>
+class InMemoryEngine {
+  public:
+    using WalkerT = typename App::WalkerT;
+    static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
+
+    /** @param read_chunk  sequential request size for the load phase. */
+    InMemoryEngine(const graph::GraphFile &file, std::uint64_t seed = 42,
+                   std::uint64_t read_chunk = 8ULL << 20)
+        : file_(&file), seed_(seed), read_chunk_(read_chunk)
+    {
+    }
+
+    engine::RunStats
+    run(App &app, std::uint64_t total_walkers)
+    {
+        util::Timer wall;
+        engine::RunStats stats;
+        stats.engine = "InMemory";
+        stats.pipelined = false;   // load completes before walking
+        stats.io_efficiency = 1.0; // full-bandwidth streaming load
+
+        // Phase 1: stream the whole edge region into memory.
+        const storage::IoStats before = file_->device().stats();
+        const std::uint64_t begin = file_->edge_region_offset();
+        const std::uint64_t bytes = file_->edge_region_bytes();
+        raw_.resize(bytes);
+        std::uint64_t pos = 0;
+        while (pos < bytes) {
+            const std::uint64_t len =
+                std::min(read_chunk_, bytes - pos);
+            file_->device().read(begin + pos, len, raw_.data() + pos);
+            pos += len;
+        }
+        const storage::IoStats after = file_->device().stats();
+        stats.graph_bytes_read = after.bytes_read - before.bytes_read;
+        stats.graph_read_requests =
+            after.read_requests - before.read_requests;
+        stats.edges_loaded =
+            stats.graph_bytes_read / file_->record_bytes();
+        stats.io_busy_seconds = after.busy_seconds - before.busy_seconds;
+
+        // Phase 2: walk entirely in memory.
+        util::Timer cpu;
+        util::Rng rng(seed_);
+        for (std::uint64_t n = 0; n < total_walkers; ++n) {
+            WalkerT w = app.generate(n);
+            walk_to_completion(app, w, rng, stats);
+        }
+        stats.cpu_seconds = cpu.seconds();
+        stats.wall_seconds = wall.seconds();
+        return stats;
+    }
+
+  private:
+    graph::VertexView
+    view(graph::VertexId v) const
+    {
+        return file_->decode(v, raw_, file_->edge_region_offset());
+    }
+
+    void
+    walk_to_completion(App &app, WalkerT &w, util::Rng &rng,
+                       engine::RunStats &stats)
+    {
+        for (;;) {
+            if constexpr (kSecondOrder) {
+                if (app.has_candidate(w)) {
+                    ++stats.rejection_trials;
+                    if (app.rejection(w, view(app.candidate(w)), rng)) {
+                        ++stats.steps;
+                    } else {
+                        ++stats.rejection_rejected;
+                    }
+                    if (!app.active(w) ||
+                        file_->degree(w.location) == 0) {
+                        ++stats.walkers;
+                        return;
+                    }
+                    continue;
+                }
+            }
+            if (!app.active(w) || file_->degree(w.location) == 0) {
+                ++stats.walkers;
+                return;
+            }
+            const graph::VertexView vv = view(w.location);
+            const graph::VertexId next = app.sample(vv, rng);
+            app.action(w, next, rng);
+            if constexpr (!kSecondOrder) {
+                ++stats.steps;
+            }
+        }
+    }
+
+    const graph::GraphFile *file_;
+    std::uint64_t seed_;
+    std::uint64_t read_chunk_;
+    std::vector<std::uint8_t> raw_;
+};
+
+} // namespace noswalker::baselines

@@ -1,0 +1,43 @@
+#include "baselines/knightking_model.hpp"
+
+#include <algorithm>
+
+namespace noswalker::baselines {
+
+double
+ClusterModel::network_seconds(std::uint64_t messages) const
+{
+    if (nodes <= 1 || network_bps <= 0.0) {
+        return 0.0;
+    }
+    const double total_bytes =
+        static_cast<double>(messages) * message_bytes;
+    // Each of the N nodes drives its own full-duplex link; balanced
+    // traffic divides evenly.
+    const double bytes_per_second = network_bps / 8.0;
+    return total_bytes / (bytes_per_second * nodes);
+}
+
+double
+ClusterModel::load_seconds(std::uint64_t graph_bytes) const
+{
+    if (load_bandwidth <= 0.0) {
+        return 0.0;
+    }
+    return static_cast<double>(graph_bytes) /
+           (load_bandwidth * std::max(1u, nodes));
+}
+
+double
+ClusterRunResult::walk_seconds() const
+{
+    return std::max(compute_seconds, network_seconds);
+}
+
+double
+ClusterRunResult::total_seconds() const
+{
+    return walk_seconds() + load_seconds;
+}
+
+} // namespace noswalker::baselines

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * KnightKing cluster model (Yang et al., SOSP'19; paper §5.2, Fig 17).
+ *
+ * KnightKing is a distributed in-memory walk engine; the paper compares
+ * against a 4-node cluster over 10 Gbps Ethernet.  We model the cluster
+ * analytically on top of an in-memory walk: vertices are hash-
+ * partitioned across N nodes, every cross-partition step ships one
+ * walker message, and per-node load/compute scale by 1/N.  The model
+ * captures exactly the terms the figure decomposes — computation,
+ * network overhead, and data-loading time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/app.hpp"
+#include "engine/run_stats.hpp"
+#include "graph/graph_file.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace noswalker::baselines {
+
+/** Cluster parameters of the KnightKing model. */
+struct ClusterModel {
+    /** Number of nodes. */
+    unsigned nodes = 4;
+    /** Network bandwidth per link, bits per second (paper: 10 Gbps). */
+    double network_bps = 10e9;
+    /** Bytes per walker message (walker id + vertex + step). */
+    std::uint32_t message_bytes = 16;
+    /** Per-node disk bandwidth for the initial load, bytes/s. */
+    double load_bandwidth = 3.1 * static_cast<double>(1ULL << 30);
+
+    /** Seconds the cluster needs to exchange @p messages messages.
+     *  Each node drives its own link; traffic is balanced. */
+    double network_seconds(std::uint64_t messages) const;
+
+    /** Seconds to load @p graph_bytes in parallel across nodes. */
+    double load_seconds(std::uint64_t graph_bytes) const;
+};
+
+/** Result of a modeled cluster run. */
+struct ClusterRunResult {
+    engine::RunStats stats;
+    std::uint64_t cross_partition_messages = 0;
+    double compute_seconds = 0.0; ///< per-node walk compute (cpu / N)
+    double network_seconds = 0.0;
+    double load_seconds = 0.0;
+
+    /** Walk-phase seconds: overlapped compute and messaging. */
+    double walk_seconds() const;
+
+    /** End-to-end seconds including the initial load. */
+    double total_seconds() const;
+};
+
+/**
+ * Distributed in-memory walk model.
+ *
+ * The walk itself executes locally (single address space) so step
+ * semantics are identical to every other engine; partition crossings
+ * are counted to drive the network model.
+ */
+template <engine::RandomWalkApp App>
+class KnightKingModelEngine {
+  public:
+    using WalkerT = typename App::WalkerT;
+    static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
+
+    KnightKingModelEngine(const graph::GraphFile &file, ClusterModel model,
+                          std::uint64_t seed = 42)
+        : file_(&file), model_(model), seed_(seed)
+    {
+    }
+
+    ClusterRunResult
+    run(App &app, std::uint64_t total_walkers)
+    {
+        util::Timer wall;
+        ClusterRunResult result;
+        engine::RunStats &stats = result.stats;
+        stats.engine = "KnightKing";
+        stats.pipelined = true; // messaging overlaps compute
+        stats.io_efficiency = 1.0;
+
+        // Materialize the edge region once (the cluster's collective
+        // memory holds the whole graph).
+        raw_.resize(file_->edge_region_bytes());
+        file_->device().read(file_->edge_region_offset(), raw_.size(),
+                             raw_.data());
+        stats.graph_bytes_read = raw_.size();
+        stats.edges_loaded = raw_.size() / file_->record_bytes();
+
+        util::Timer cpu;
+        util::Rng rng(seed_);
+        for (std::uint64_t n = 0; n < total_walkers; ++n) {
+            WalkerT w = app.generate(n);
+            walk(app, w, rng, stats, result.cross_partition_messages);
+        }
+        const double cpu_seconds = cpu.seconds();
+
+        result.compute_seconds =
+            cpu_seconds / static_cast<double>(model_.nodes);
+        result.network_seconds =
+            model_.network_seconds(result.cross_partition_messages);
+        result.load_seconds =
+            model_.load_seconds(file_->edge_region_bytes());
+        stats.cpu_seconds = result.compute_seconds;
+        stats.io_busy_seconds = result.load_seconds;
+        stats.wall_seconds = wall.seconds();
+        return result;
+    }
+
+  private:
+    unsigned
+    node_of(graph::VertexId v) const
+    {
+        return static_cast<unsigned>(v % model_.nodes);
+    }
+
+    graph::VertexView
+    view(graph::VertexId v) const
+    {
+        return file_->decode(v, raw_, file_->edge_region_offset());
+    }
+
+    void
+    walk(App &app, WalkerT &w, util::Rng &rng, engine::RunStats &stats,
+         std::uint64_t &messages)
+    {
+        for (;;) {
+            if constexpr (kSecondOrder) {
+                if (app.has_candidate(w)) {
+                    const graph::VertexId c = app.candidate(w);
+                    // Rejection executes at the candidate's owner node.
+                    if (node_of(w.location) != node_of(c)) {
+                        ++messages;
+                    }
+                    ++stats.rejection_trials;
+                    const graph::VertexId from = w.location;
+                    if (app.rejection(w, view(c), rng)) {
+                        ++stats.steps;
+                    } else {
+                        ++stats.rejection_rejected;
+                        // Rejected trial: the walker state returns to
+                        // its current owner.
+                        if (node_of(from) != node_of(c)) {
+                            ++messages;
+                        }
+                    }
+                    if (!app.active(w) ||
+                        file_->degree(w.location) == 0) {
+                        ++stats.walkers;
+                        return;
+                    }
+                    continue;
+                }
+            }
+            if (!app.active(w) || file_->degree(w.location) == 0) {
+                ++stats.walkers;
+                return;
+            }
+            const graph::VertexId from = w.location;
+            const graph::VertexView vv = view(from);
+            const graph::VertexId next = app.sample(vv, rng);
+            app.action(w, next, rng);
+            if constexpr (!kSecondOrder) {
+                ++stats.steps;
+                if (node_of(from) != node_of(w.location)) {
+                    ++messages;
+                }
+            }
+        }
+    }
+
+    const graph::GraphFile *file_;
+    ClusterModel model_;
+    std::uint64_t seed_;
+    std::vector<std::uint8_t> raw_;
+};
+
+} // namespace noswalker::baselines

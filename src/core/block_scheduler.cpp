@@ -1,0 +1,56 @@
+#include "core/block_scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace noswalker::core {
+
+BlockScheduler::BlockScheduler(std::uint32_t num_blocks, double alpha,
+                               std::uint64_t graph_bytes,
+                               std::uint32_t page_bytes)
+    : counts_(num_blocks, 0), alpha_(alpha), graph_bytes_(graph_bytes),
+      page_bytes_(page_bytes)
+{
+}
+
+void
+BlockScheduler::remove_walker(std::uint32_t block)
+{
+    NOSWALKER_CHECK(counts_[block] > 0);
+    --counts_[block];
+}
+
+void
+BlockScheduler::remove_walkers(std::uint32_t block, std::uint64_t n)
+{
+    NOSWALKER_CHECK(counts_[block] >= n);
+    counts_[block] -= n;
+}
+
+std::uint32_t
+BlockScheduler::hottest() const
+{
+    std::uint32_t best = kNoBlock;
+    std::uint64_t best_count = 0;
+    for (std::uint32_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] > best_count) {
+            best_count = counts_[b];
+            best = b;
+        }
+    }
+    return best;
+}
+
+bool
+BlockScheduler::fine_mode(std::uint64_t active_walkers)
+{
+    if (!fine_) {
+        const double lhs = alpha_ * static_cast<double>(active_walkers) *
+                           static_cast<double>(page_bytes_);
+        if (lhs < static_cast<double>(graph_bytes_)) {
+            fine_ = true;
+        }
+    }
+    return fine_;
+}
+
+} // namespace noswalker::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NosWalker engine configuration, including the optimization knobs the
+ * paper's breakdown study (Fig 14) toggles one by one.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace noswalker::core {
+
+/** Tunables of the NosWalker engine. */
+struct EngineConfig {
+    /** Memory cap in bytes (0 = unlimited). */
+    std::uint64_t memory_budget = 0;
+
+    /** Target coarse block size in bytes of edge data. */
+    std::uint64_t block_bytes = 1ULL << 20;
+
+    /**
+     * Walkers kept live in memory (0 = derive from the budget).  The
+     * paper keeps this "no need to be much larger than the number of
+     * threads"; larger pools raise step concurrency per loaded block.
+     */
+    std::uint64_t max_walkers = 0;
+
+    /** Base pre-samples per vertex before history reweighting. */
+    std::uint32_t presamples_per_vertex = 4;
+
+    /** Hard cap on pre-samples one vertex may be allocated.  Hubs are
+     *  visited orders of magnitude more often than the mean, so the
+     *  cap is generous; the buffer byte budget is the real bound. */
+    std::uint32_t max_presamples_per_vertex = 1024;
+
+    /**
+     * Degree at or below which a vertex's full edge list is reserved
+     * instead of pre-samples (§3.3.4; the paper uses 1–4 by graph size).
+     */
+    std::uint32_t low_degree_cutoff = 2;
+
+    /** Walker-distribution unevenness factor for the fine-mode switch
+     *  α·|Wa|·4KiB < S_G (§3.3.1; paper default 4). */
+    double alpha = 4.0;
+
+    /** Fraction of post-index budget granted to the walker pool.  The
+     *  paper's walker pools "initially occupy most of the memory". */
+    double walker_memory_fraction = 0.5;
+
+    /** Fraction of post-index budget granted to pre-sample buffers. */
+    double presample_memory_fraction = 0.55;
+
+    /** Master seed; every run is a deterministic function of it. */
+    std::uint64_t seed = 42;
+
+    /** Background loader threads (0 = load synchronously). */
+    unsigned loader_threads = 1;
+
+    // --- Fig 14 breakdown knobs (all on = full NosWalker) ---
+
+    /** Optimization (1): dynamic walker generation, no state swapping. */
+    bool walker_management = true;
+
+    /** Optimization (2): adaptive fine-grained block mode. */
+    bool shrink_block = true;
+
+    /** Optimization (3): decoupled pre-sampling. */
+    bool presample = true;
+
+    /** §3.3.5: serve walkers from the currently loaded block first. */
+    bool use_loaded_block = true;
+
+    /** Validate ranges; @throws util::ConfigError on nonsense. */
+    void validate() const;
+
+    /** The full system. */
+    static EngineConfig full(std::uint64_t memory_budget,
+                             std::uint64_t block_bytes);
+
+    /** The breakdown "base implementation" (§4.4): GraphWalker-like
+     *  workflow on NosWalker's async-I/O substrate, all knobs off. */
+    static EngineConfig base_implementation(std::uint64_t memory_budget,
+                                            std::uint64_t block_bytes);
+};
+
+} // namespace noswalker::core

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * The NosWalker engine: decoupled, walker-oriented out-of-core random
+ * walk processing (paper §3, Algorithm 1/3).
+ *
+ * Architecture (Figure 6): a background loader thread streams the
+ * hottest blocks into block buffers (①); walkers are generated
+ * adaptively so their states never touch disk (②); walkers are moved
+ * first from the currently loaded block, then from reserved pre-sample
+ * buffers (③); and pre-sample buffers are (re)built from each loaded
+ * block with visit-history-proportional quotas (④).
+ *
+ * The Fig 14 breakdown knobs degrade the engine towards the paper's
+ * "base implementation": walker_management=false materializes all
+ * walkers up front and charges GraphWalker-style swap I/O;
+ * shrink_block=false disables fine-grained loads; presample=false
+ * disables the pre-sample pool entirely.
+ *
+ * Second-order applications (SecondOrderApp) run the Appendix A
+ * workflow: Action records a candidate + trial height, and the engine
+ * resolves the rejection trial once the candidate's adjacency is
+ * resident (from the loaded block or a direct low-degree reservation).
+ */
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_scheduler.hpp"
+#include "core/config.hpp"
+#include "core/presample_buffer.hpp"
+#include "core/walker_pool.hpp"
+#include "engine/app.hpp"
+#include "engine/run_stats.hpp"
+#include "engine/walker_spill.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "storage/async_loader.hpp"
+#include "storage/block_reader.hpp"
+#include "storage/mem_device.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/memory_budget.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace noswalker::core {
+
+/** Disk utilisation the async-I/O path achieves (paper §4.4: 70–90 %). */
+inline constexpr double kAsyncIoEfficiency = 0.8;
+
+/**
+ * Walker-oriented out-of-core random walk engine.
+ *
+ * @tparam App  a RandomWalkApp (optionally SecondOrderApp).
+ */
+template <engine::RandomWalkApp App>
+class NosWalkerEngine {
+  public:
+    using WalkerT = typename App::WalkerT;
+    static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
+
+    /**
+     * @param file  the on-disk graph.
+     * @param partition  1-D block partition of @p file.
+     * @param config  engine configuration (validated here).
+     */
+    NosWalkerEngine(const graph::GraphFile &file,
+                    const graph::BlockPartition &partition,
+                    EngineConfig config)
+        : file_(&file), partition_(&partition), config_(config)
+    {
+        config_.validate();
+    }
+
+    /**
+     * Execute @p total_walkers walkers of @p app to completion.
+     *
+     * Deterministic for a fixed (config.seed, app, graph).
+     */
+    engine::RunStats
+    run(App &app, std::uint64_t total_walkers)
+    {
+        util::Timer wall;
+        reset(total_walkers);
+        app_ = &app;
+        util::MemoryBudget budget(config_.memory_budget);
+        setup(budget, total_walkers);
+
+        storage::BlockReader reader(*file_, unbudgeted_);
+        storage::AsyncLoader loader(
+            reader, config_.loader_threads > 0 && !single_buffer_);
+        const storage::IoStats io_before = file_->device().stats();
+
+        App &a = app;
+        util::Timer cpu;
+        double cpu_seconds = 0.0;
+
+        // Prime the pool so the scheduler has work.
+        cpu.reset();
+        admit_walkers(a, nullptr);
+        cpu_seconds += cpu.seconds();
+
+        while (generated_ < total_ || pool_->live() > 0) {
+            const std::uint32_t target = choose_block();
+            if (target == BlockScheduler::kNoBlock) {
+                // Only in-flight generation remains.
+                cpu.reset();
+                admit_walkers(a, nullptr);
+                cpu_seconds += cpu.seconds();
+                continue;
+            }
+            if (!loader.outstanding()) {
+                loader.submit(make_request(target));
+            }
+            auto response = loader.wait();
+            if (response.error) {
+                std::rethrow_exception(response.error);
+            }
+
+            // Predict and prefetch the next block while we process
+            // (only with a second buffer to land it in).
+            if (!single_buffer_) {
+                const std::uint32_t next =
+                    choose_block_excluding(response.block->id);
+                if (next != BlockScheduler::kNoBlock) {
+                    loader.submit(make_request(next));
+                }
+            }
+
+            cpu.reset();
+            account_load(response);
+            if (scheduler_->count(response.block->id) > 0) {
+                process_block(a, response);
+            } else {
+                // Prefetch went stale: walkers left before the load
+                // arrived.  The bytes are already on the books, exactly
+                // like a mispredicted load on real hardware.
+                ++stats_.stalls;
+            }
+            admit_walkers(a, &response);
+            cpu_seconds += cpu.seconds();
+        }
+
+        finalize(budget, io_before, cpu_seconds);
+        stats_.wall_seconds = wall.seconds();
+        return stats_;
+    }
+
+  private:
+    void
+    reset(std::uint64_t total)
+    {
+        stats_ = engine::RunStats{};
+        stats_.engine = "NosWalker";
+        stats_.pipelined = true; // set false later in single-buffer mode
+        stats_.io_efficiency = kAsyncIoEfficiency;
+        rng_ = util::Rng(config_.seed);
+        total_ = total;
+        generated_ = 0;
+        buffers_.clear();
+        pool_.reset();
+        scheduler_.reset();
+        spill_.reset();
+        swap_device_.reset();
+        presample_bytes_used_ = 0;
+    }
+
+    /** Reserve the fixed memory regions and create the components. */
+    void
+    setup(util::MemoryBudget &budget, std::uint64_t total)
+    {
+        // CSR index stays in memory (§3.3.1).
+        index_rsv_ = util::Reservation(budget, file_->index_bytes(),
+                                       "csr index");
+
+        // Two resident block buffers (current + prefetch) when memory
+        // allows; under very tight budgets a second buffer would
+        // starve the walker pool and pre-sample pool, so the engine
+        // degrades to single-buffer synchronous loading.
+        const std::uint64_t page = storage::BlockReader::kPageBytes;
+        const std::uint64_t aligned =
+            (partition_->max_block_bytes() / page + 2) * page;
+        single_buffer_ =
+            budget.limit() != 0 &&
+            2 * aligned > (budget.available() * 35) / 100;
+        buffer_rsv_ = util::Reservation(
+            budget, single_buffer_ ? aligned : 2 * aligned,
+            "block buffers");
+
+        const std::uint64_t rest = budget.available();
+        const std::uint32_t num_blocks = partition_->num_blocks();
+        scheduler_ = std::make_unique<BlockScheduler>(
+            num_blocks, config_.alpha, file_->edge_region_bytes(),
+            static_cast<std::uint32_t>(page));
+
+        if (config_.walker_management) {
+            std::uint64_t cap = config_.max_walkers;
+            if (cap == 0) {
+                const std::uint64_t by_budget =
+                    budget.limit() == 0
+                        ? std::uint64_t{1} << 18
+                        : static_cast<std::uint64_t>(
+                              config_.walker_memory_fraction *
+                              static_cast<double>(rest)) /
+                              sizeof(WalkerT);
+                cap = std::max<std::uint64_t>(
+                    64, std::min<std::uint64_t>(by_budget,
+                                                std::uint64_t{1} << 20));
+            }
+            cap = std::max<std::uint64_t>(1, std::min(cap, total));
+            pool_ = std::make_unique<WalkerPool<WalkerT>>(num_blocks, cap,
+                                                          budget);
+        } else {
+            // Base-implementation mode: all walker states exist up
+            // front; only a bounded buffer is memory-resident and the
+            // overflow swaps through a dedicated device (§2.4.2).
+            const std::uint64_t buffer_bytes = std::max<std::uint64_t>(
+                sizeof(WalkerT),
+                budget.limit() == 0
+                    ? total * sizeof(WalkerT)
+                    : static_cast<std::uint64_t>(
+                          config_.walker_memory_fraction *
+                          static_cast<double>(rest)));
+            const std::uint64_t resident_cap =
+                std::max<std::uint64_t>(1, buffer_bytes / sizeof(WalkerT));
+            pool_ = std::make_unique<WalkerPool<WalkerT>>(
+                num_blocks, std::max<std::uint64_t>(total, 1), budget,
+                std::min(buffer_bytes, total * sizeof(WalkerT)));
+            swap_device_ = std::make_unique<storage::MemDevice>(
+                file_->device().model());
+            spill_ = std::make_unique<engine::WalkerSpill>(
+                *swap_device_, sizeof(WalkerT), resident_cap, num_blocks);
+        }
+
+        if (config_.presample) {
+            const std::uint64_t ps_total = std::max<std::uint64_t>(
+                4096, budget.limit() == 0
+                          ? std::uint64_t{64} << 20
+                          : static_cast<std::uint64_t>(
+                                config_.presample_memory_fraction *
+                                static_cast<double>(budget.available())));
+            presample_bytes_total_ = ps_total;
+            // Hot blocks deserve deep buffers: cap one block at a
+            // quarter of the pool and let coldest-buffer eviction
+            // arbitrate the rest (§3.3.3).
+            presample_per_block_ =
+                std::max<std::uint64_t>(4096, ps_total / 4);
+        }
+        budget_ = &budget;
+        stats_.pipelined = !single_buffer_;
+    }
+
+    storage::AsyncLoader::Request
+    make_request(std::uint32_t block)
+    {
+        storage::AsyncLoader::Request request;
+        request.block = &partition_->block(block);
+        request.fine = config_.shrink_block &&
+                       scheduler_->fine_mode(pool_->live());
+        if (request.fine) {
+            request.needed.reserve(pool_->parked(block));
+            for (const WalkerT &w : peek_bucket(block)) {
+                request.needed.push_back(waiting_vertex_of(w));
+            }
+        }
+        return request;
+    }
+
+    std::uint32_t
+    choose_block() const
+    {
+        return scheduler_->hottest();
+    }
+
+    std::uint32_t
+    choose_block_excluding(std::uint32_t skip) const
+    {
+        std::uint32_t best = BlockScheduler::kNoBlock;
+        std::uint64_t best_count = 0;
+        for (std::uint32_t b = 0; b < partition_->num_blocks(); ++b) {
+            if (b == skip) {
+                continue;
+            }
+            const std::uint64_t c = scheduler_->count(b);
+            if (c > best_count) {
+                best_count = c;
+                best = b;
+            }
+        }
+        return best;
+    }
+
+    void
+    account_load(const storage::AsyncLoader::Response &response)
+    {
+        if (response.fine) {
+            ++stats_.fine_loads;
+        } else {
+            ++stats_.blocks_loaded;
+        }
+    }
+
+    /** Bucket view without draining it (fine-mode needed lists). */
+    const std::vector<WalkerT> &
+    peek_bucket(std::uint32_t block) const
+    {
+        return pool_->bucket_view(block);
+    }
+
+    graph::VertexId
+    waiting_vertex_of(const WalkerT &w) const
+    {
+        if constexpr (kSecondOrder) {
+            return app_->has_candidate(w) ? app_->candidate(w)
+                                          : w.location;
+        } else {
+            return w.location;
+        }
+    }
+
+    /** Generate walkers while the pool admits them (Algorithm 1 l.7). */
+    void
+    admit_walkers(App &app, const storage::AsyncLoader::Response *resp)
+    {
+        app_ = &app;
+        if (!config_.walker_management) {
+            // All walkers are materialized once, GraphChi-style.
+            while (generated_ < total_) {
+                WalkerT w = app.generate(generated_++);
+                pool_->admit();
+                park(w);
+            }
+            return;
+        }
+        while (generated_ < total_ && pool_->can_admit()) {
+            WalkerT w = app.generate(generated_++);
+            pool_->admit();
+            chain_move(app, w, resp);
+        }
+    }
+
+    /** Park @p w at its waiting block and notify the scheduler. */
+    void
+    park(const WalkerT &w)
+    {
+        const std::uint32_t b =
+            partition_->block_of(waiting_vertex_of(w));
+        pool_->park(b, w);
+        scheduler_->add_walker(b);
+        if (spill_) {
+            spill_->park(b, 1);
+        }
+    }
+
+    void
+    retire_walker()
+    {
+        pool_->retire();
+        ++stats_.walkers;
+    }
+
+    /** Build/refill the block's pre-sample buffer from a coarse load. */
+    void
+    refill_presamples(App &app,
+                      const storage::AsyncLoader::Response &response)
+    {
+        const graph::BlockInfo &block = *response.block;
+        PreSampleBuffer::BuildParams params;
+        params.max_bytes = presample_per_block_;
+        params.base_quota = config_.presamples_per_vertex;
+        params.max_quota = config_.max_presamples_per_vertex;
+        params.low_degree_cutoff = config_.low_degree_cutoff;
+
+        auto it = buffers_.find(block.id);
+        const PreSampleBuffer *previous =
+            it != buffers_.end() ? it->second.get() : nullptr;
+        // Rebuild only "when it should sample new edges" (§3.3.2):
+        // when the buffer is substantially drained or walkers have
+        // been stalling on it (unmet demand).  Otherwise the reserved
+        // samples stay valid and rebuilding would discard them.
+        if (previous != nullptr &&
+            previous->consumed_fraction() < 0.3 &&
+            previous->stall_count() <
+                std::max<std::uint64_t>(64,
+                                        previous->slot_count() / 8)) {
+            return;
+        }
+
+        std::unique_ptr<PreSampleBuffer> fresh;
+        for (;;) {
+            try {
+                fresh = std::make_unique<PreSampleBuffer>(
+                    *file_, block, params, previous, *budget_);
+                break;
+            } catch (const util::BudgetExceeded &) {
+                if (!evict_coldest_buffer(block.id)) {
+                    return; // cannot fit: skip pre-sampling this block
+                }
+                // Eviction may have invalidated `previous`.
+                const auto again = buffers_.find(block.id);
+                previous =
+                    again != buffers_.end() ? again->second.get() : nullptr;
+            }
+        }
+
+        auto sampler = [&](const graph::VertexView &view) {
+            return app.sample(view, rng_);
+        };
+        for (graph::VertexId v = block.first_vertex; v < block.end_vertex;
+             ++v) {
+            if (fresh->quota(v) == 0) {
+                continue;
+            }
+            fresh->fill_vertex(response.buffer.view(*file_, v), sampler);
+        }
+        buffers_[block.id] = std::move(fresh);
+    }
+
+    /** Drop the buffer of the block with the fewest waiting walkers. */
+    bool
+    evict_coldest_buffer(std::uint32_t except)
+    {
+        std::uint32_t victim = BlockScheduler::kNoBlock;
+        std::uint64_t coldest = ~std::uint64_t{0};
+        for (const auto &[id, buf] : buffers_) {
+            if (id == except) {
+                continue;
+            }
+            const std::uint64_t c = scheduler_->count(id);
+            if (c < coldest) {
+                coldest = c;
+                victim = id;
+            }
+        }
+        if (victim == BlockScheduler::kNoBlock) {
+            return false;
+        }
+        buffers_.erase(victim);
+        return true;
+    }
+
+    PreSampleBuffer *
+    find_presamples(std::uint32_t block)
+    {
+        const auto it = buffers_.find(block);
+        return it == buffers_.end() ? nullptr : it->second.get();
+    }
+
+    /** Service the freshly loaded block (Algorithm 1 lines 9-12). */
+    void
+    process_block(App &app, const storage::AsyncLoader::Response &response)
+    {
+        const std::uint32_t id = response.block->id;
+        if (!response.fine && config_.presample) {
+            refill_presamples(app, response);
+        }
+        if (spill_) {
+            spill_->activate(id);
+        }
+        std::vector<WalkerT> bucket = pool_->take_bucket(id);
+        scheduler_->remove_walkers(id, bucket.size());
+        if (spill_) {
+            spill_->retire(id, bucket.size());
+        }
+        for (WalkerT &w : bucket) {
+            chain_move(app, w, &response);
+        }
+    }
+
+    /**
+     * Move @p w as far as in-memory data allows (re-entry + pre-sample
+     * chains), then park or retire it.
+     */
+    void
+    chain_move(App &app, WalkerT w,
+               const storage::AsyncLoader::Response *resp)
+    {
+        const storage::BlockBuffer *buf =
+            resp != nullptr ? &resp->buffer : nullptr;
+        for (;;) {
+            if constexpr (kSecondOrder) {
+                if (app.has_candidate(w)) {
+                    if (!resolve_candidate(app, w, buf)) {
+                        park(w);
+                        return;
+                    }
+                    if (!app.active(w)) {
+                        retire_walker();
+                        return;
+                    }
+                    continue;
+                }
+            }
+            if (!app.active(w)) {
+                retire_walker();
+                return;
+            }
+            const graph::VertexId v = w.location;
+            if (file_->degree(v) == 0) {
+                // Dead end: the walk cannot continue (no out-edges).
+                retire_walker();
+                return;
+            }
+            if (!advance_once(app, w, v, buf)) {
+                ++stats_.stalls;
+                park(w);
+                return;
+            }
+        }
+    }
+
+    /**
+     * Try to move @p w one step using resident data.
+     *
+     * use_loaded_block (§3.3.5) controls the *priority*: when on, the
+     * currently loaded block serves the walker before any reserved
+     * pre-sample is consumed (so pre-samples are only spent when the
+     * block is not resident); when off, pre-samples are consumed
+     * eagerly and the block is only a fallback.
+     *
+     * @return false when neither source can serve vertex @p v.
+     */
+    bool
+    advance_once(App &app, WalkerT &w, graph::VertexId v,
+                 const storage::BlockBuffer *buf)
+    {
+        if (config_.use_loaded_block && move_via_block(app, w, v, buf)) {
+            return true;
+        }
+        if (config_.presample && move_via_presamples(app, w, v)) {
+            return true;
+        }
+        if (!config_.use_loaded_block &&
+            move_via_block(app, w, v, buf)) {
+            return true;
+        }
+        return false;
+    }
+
+    /** One step from the loaded block's adjacency, if resident. */
+    bool
+    move_via_block(App &app, WalkerT &w, graph::VertexId v,
+                   const storage::BlockBuffer *buf)
+    {
+        if (buf == nullptr || buf->info() == nullptr ||
+            !buf->info()->contains(v) || !buf->vertex_loaded(*file_, v)) {
+            return false;
+        }
+        const graph::VertexView view = buf->view(*file_, v);
+        const graph::VertexId next = app.sample(view, rng_);
+        app.action(w, next, rng_);
+        ++stats_.block_steps;
+        count_step();
+        return true;
+    }
+
+    /** One step from the reserved pre-samples, if any remain. */
+    bool
+    move_via_presamples(App &app, WalkerT &w, graph::VertexId v)
+    {
+        PreSampleBuffer *ps = find_presamples(partition_->block_of(v));
+        if (ps == nullptr) {
+            return false;
+        }
+        if (ps->is_direct(v)) {
+            const graph::VertexView view = ps->direct_view(v);
+            const graph::VertexId next = app.sample(view, rng_);
+            app.action(w, next, rng_);
+            ++stats_.presample_steps;
+            count_step();
+            return true;
+        }
+        if (ps->has(v)) {
+            const graph::VertexId next = ps->top(v);
+            if (app.action(w, next, rng_)) {
+                ps->pop(v);
+            }
+            ++stats_.presample_steps;
+            count_step();
+            return true;
+        }
+        ps->record_visit(v);
+        return false;
+    }
+
+    void
+    count_step()
+    {
+        if constexpr (!kSecondOrder) {
+            ++stats_.steps;
+        }
+        // Second-order: a step completes only when a candidate is
+        // accepted (counted in resolve_candidate).
+    }
+
+    /**
+     * Second order: resolve the pending rejection trial of @p w if the
+     * candidate's adjacency is resident.
+     * @return false when the candidate's data is not available.
+     */
+    bool
+    resolve_candidate(App &app, WalkerT &w,
+                      const storage::BlockBuffer *buf)
+    {
+        static_assert(kSecondOrder);
+        const graph::VertexId c = app.candidate(w);
+        graph::VertexView view;
+        bool have = false;
+        if (buf != nullptr && buf->info() != nullptr &&
+            buf->info()->contains(c) && buf->vertex_loaded(*file_, c)) {
+            view = buf->view(*file_, c);
+            have = true;
+        } else if (config_.presample) {
+            PreSampleBuffer *ps =
+                find_presamples(partition_->block_of(c));
+            if (ps != nullptr && ps->is_direct(c)) {
+                view = ps->direct_view(c);
+                have = true;
+            }
+        }
+        if (!have) {
+            return false;
+        }
+        ++stats_.rejection_trials;
+        if (app.rejection(w, view, rng_)) {
+            ++stats_.steps;
+        } else {
+            ++stats_.rejection_rejected;
+        }
+        return true;
+    }
+
+    void
+    finalize(util::MemoryBudget &budget, const storage::IoStats &before,
+             double cpu_seconds)
+    {
+        const storage::IoStats after = file_->device().stats();
+        stats_.graph_bytes_read = after.bytes_read - before.bytes_read;
+        stats_.graph_read_requests =
+            after.read_requests - before.read_requests;
+        stats_.edges_loaded =
+            stats_.graph_bytes_read / file_->record_bytes();
+        stats_.io_busy_seconds = after.busy_seconds - before.busy_seconds;
+        if (spill_) {
+            stats_.swap_bytes = spill_->swap_bytes();
+            stats_.io_busy_seconds +=
+                swap_device_->stats().busy_seconds;
+        }
+        stats_.cpu_seconds = cpu_seconds;
+        stats_.peak_memory = budget.peak();
+        buffers_.clear();
+        pool_.reset();
+        index_rsv_.release();
+        buffer_rsv_.release();
+    }
+
+    const graph::GraphFile *file_;
+    const graph::BlockPartition *partition_;
+    EngineConfig config_;
+    App *app_ = nullptr;
+
+    util::Rng rng_{42};
+    engine::RunStats stats_;
+    std::uint64_t total_ = 0;
+    std::uint64_t generated_ = 0;
+
+    util::MemoryBudget *budget_ = nullptr;
+    util::MemoryBudget unbudgeted_{0};
+    bool single_buffer_ = false;
+    util::Reservation index_rsv_;
+    util::Reservation buffer_rsv_;
+
+    std::unique_ptr<WalkerPool<WalkerT>> pool_;
+    std::unique_ptr<BlockScheduler> scheduler_;
+    std::unordered_map<std::uint32_t, std::unique_ptr<PreSampleBuffer>>
+        buffers_;
+    std::uint64_t presample_bytes_total_ = 0;
+    std::uint64_t presample_per_block_ = 0;
+    std::uint64_t presample_bytes_used_ = 0;
+
+    std::unique_ptr<storage::MemDevice> swap_device_;
+    std::unique_ptr<engine::WalkerSpill> spill_;
+};
+
+} // namespace noswalker::core

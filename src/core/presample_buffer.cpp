@@ -1,0 +1,138 @@
+#include "core/presample_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::core {
+
+PreSampleBuffer::PreSampleBuffer(const graph::GraphFile &file,
+                                 const graph::BlockInfo &block,
+                                 const BuildParams &params,
+                                 const PreSampleBuffer *previous,
+                                 util::MemoryBudget &budget)
+    : block_id_(block.id), first_vertex_(block.first_vertex),
+      weighted_(file.weighted())
+{
+    const graph::VertexId nv = block.num_vertices();
+    idx_.assign(static_cast<std::size_t>(nv) + 1, 0);
+    cnt_.assign(nv, 0);
+    direct_.assign(nv, 0);
+    filled_.assign(nv, 0);
+
+    const std::uint64_t meta_bytes =
+        idx_.capacity() * sizeof(std::uint32_t) +
+        cnt_.capacity() * sizeof(std::uint32_t) + direct_.capacity() +
+        filled_.capacity();
+    const std::uint32_t slot_bytes =
+        sizeof(graph::VertexId) +
+        (weighted_ ? sizeof(graph::Weight) : 0u);
+
+    if (params.max_bytes <= meta_bytes) {
+        throw util::BudgetExceeded("PreSampleBuffer: cap below meta size");
+    }
+    const std::uint64_t slot_budget =
+        (params.max_bytes - meta_bytes) / slot_bytes;
+
+    // Pass 1: mandatory direct reservations for low-degree vertices and
+    // history weights for the rest.
+    std::uint64_t direct_slots = 0;
+    std::uint64_t total_weight = 0;
+    std::vector<std::uint32_t> weight(nv, 0);
+    for (graph::VertexId v = block.first_vertex; v < block.end_vertex;
+         ++v) {
+        const std::uint32_t deg = file.degree(v);
+        const std::size_t i = index_of(v);
+        if (deg == 0) {
+            continue;
+        }
+        if (deg <= params.low_degree_cutoff) {
+            direct_[i] = 1;
+            direct_slots += deg;
+        } else {
+            const std::uint32_t hist =
+                previous != nullptr &&
+                        previous->first_vertex_ == first_vertex_
+                    ? previous->cnt_[i]
+                    : 0;
+            weight[i] = 1 + hist;
+            total_weight += weight[i];
+        }
+    }
+
+    // Pass 2: demand-driven quotas — base_quota scaled by the visit
+    // history (§3.3.2: quota ≈ proportional to cnt), clamped to the
+    // per-vertex cap.  A byte-budget overshoot is corrected below.
+    (void)total_weight;
+    std::uint64_t pos = 0;
+    for (graph::VertexId v = block.first_vertex; v < block.end_vertex;
+         ++v) {
+        const std::size_t i = index_of(v);
+        idx_[i] = static_cast<std::uint32_t>(pos);
+        const std::uint32_t deg = file.degree(v);
+        std::uint32_t slots = 0;
+        if (deg == 0) {
+            slots = 0;
+        } else if (direct_[i]) {
+            slots = deg;
+        } else {
+            const std::uint64_t want =
+                static_cast<std::uint64_t>(params.base_quota) *
+                weight[i];
+            slots = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+                want, params.base_quota, params.max_quota));
+        }
+        pos += slots;
+    }
+    idx_[nv] = static_cast<std::uint32_t>(pos);
+
+    // If rounding overshot the slot budget, scale down uniformly by
+    // truncating per-vertex quotas (rare; keeps the byte cap honest).
+    if (pos > slot_budget) {
+        const double scale = static_cast<double>(slot_budget) /
+                             static_cast<double>(pos);
+        std::uint64_t new_pos = 0;
+        std::vector<std::uint32_t> new_idx(idx_.size());
+        for (graph::VertexId v = 0; v < nv; ++v) {
+            new_idx[v] = static_cast<std::uint32_t>(new_pos);
+            std::uint32_t slots = idx_[v + 1] - idx_[v];
+            if (!direct_[v]) {
+                slots = static_cast<std::uint32_t>(
+                    static_cast<double>(slots) * scale);
+            }
+            new_pos += slots;
+        }
+        new_idx[nv] = static_cast<std::uint32_t>(new_pos);
+        idx_ = std::move(new_idx);
+        pos = new_pos;
+    }
+
+    edges_.assign(pos, graph::kInvalidVertex);
+    if (weighted_) {
+        dweights_.assign(pos, 0.0f);
+    }
+
+    const std::uint64_t total_bytes =
+        meta_bytes + edges_.capacity() * sizeof(graph::VertexId) +
+        dweights_.capacity() * sizeof(graph::Weight);
+    reservation_ =
+        util::Reservation(budget, total_bytes, "presample buffer");
+}
+
+graph::VertexView
+PreSampleBuffer::direct_view(graph::VertexId v) const
+{
+    const std::size_t i = index_of(v);
+    NOSWALKER_CHECK(filled_[i] && direct_[i]);
+    const std::uint32_t begin = idx_[i];
+    const std::uint32_t n = idx_[i + 1] - begin;
+    graph::VertexView view;
+    view.id = v;
+    view.targets = {edges_.data() + begin, n};
+    if (weighted_) {
+        view.weights = {dweights_.data() + begin, n};
+    }
+    return view;
+}
+
+} // namespace noswalker::core

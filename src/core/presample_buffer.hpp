@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Compact pre-sampled-edge buffer (§3.3.2 — §3.3.4).
+ *
+ * One buffer serves one coarse block's vertex range.  Layout mirrors
+ * the paper's Figure 8: a meta array of (idx, cnt) per vertex and a
+ * flat edges array holding each vertex's pre-sampled destinations
+ * contiguously.  cnt counts consumed samples *and* stall visits, so it
+ * doubles as the visit-frequency estimate the rebuild step uses to
+ * reallocate quotas proportionally.
+ *
+ * Low-degree vertices (§3.3.4) get their full edge list "reserved"
+ * instead of samples: their slots hold the real adjacency (plus weights
+ * on weighted graphs) and never run dry — the engine re-samples from
+ * the reserved view on every visit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+#include "util/memory_budget.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::core {
+
+/** Per-block pre-sample store. */
+class PreSampleBuffer {
+  public:
+    /** Allocation inputs for (re)building a buffer. */
+    struct BuildParams {
+        /** Byte cap for this buffer (meta + slots). */
+        std::uint64_t max_bytes = 0;
+        /** Baseline samples per (visited) vertex. */
+        std::uint32_t base_quota = 4;
+        /** Cap on samples for one vertex. */
+        std::uint32_t max_quota = 64;
+        /** Degree at or below which edges are reserved directly. */
+        std::uint32_t low_degree_cutoff = 2;
+    };
+
+    /**
+     * Plan the allocation for @p block of @p file.
+     *
+     * @param previous  the block's previous buffer generation (or null);
+     *                  its cnt values weight the new quotas.
+     * @param budget    the buffer's memory is reserved here.
+     * @throws util::BudgetExceeded when even the meta array cannot fit.
+     *
+     * After construction the buffer is *planned but unfilled*: the
+     * engine streams the block once and calls fill_vertex per vertex.
+     */
+    PreSampleBuffer(const graph::GraphFile &file,
+                    const graph::BlockInfo &block, const BuildParams &params,
+                    const PreSampleBuffer *previous,
+                    util::MemoryBudget &budget);
+
+    /** Block this buffer serves. */
+    std::uint32_t block_id() const { return block_id_; }
+
+    /** First vertex of the served range. */
+    graph::VertexId first_vertex() const { return first_vertex_; }
+
+    /** Vertices in the served range. */
+    graph::VertexId
+    num_vertices() const
+    {
+        return static_cast<graph::VertexId>(idx_.size() - 1);
+    }
+
+    /** Slots allocated to @p v (0 when none). */
+    std::uint32_t
+    quota(graph::VertexId v) const
+    {
+        const std::size_t i = index_of(v);
+        return idx_[i + 1] - idx_[i];
+    }
+
+    /**
+     * Fill vertex @p v's slots from its loaded adjacency.
+     * Direct vertices copy edges (and weights); sampled vertices invoke
+     * @p sampler quota times.  @p sampler is `app.sample` bound to rng.
+     */
+    template <typename Sampler>
+    void
+    fill_vertex(const graph::VertexView &view, Sampler &&sampler)
+    {
+        const std::size_t i = index_of(view.id);
+        const std::uint32_t slots = idx_[i + 1] - idx_[i];
+        if (slots == 0) {
+            return;
+        }
+        cnt_[i] = 0;
+        filled_[i] = 1;
+        graph::VertexId *out = edges_.data() + idx_[i];
+        if (direct_[i]) {
+            for (std::uint32_t k = 0; k < slots; ++k) {
+                out[k] = view.targets[k];
+            }
+            if (!dweights_.empty() && !view.weights.empty()) {
+                graph::Weight *w = dweights_.data() + idx_[i];
+                for (std::uint32_t k = 0; k < slots; ++k) {
+                    w[k] = view.weights[k];
+                }
+            }
+        } else {
+            for (std::uint32_t k = 0; k < slots; ++k) {
+                out[k] = sampler(view);
+            }
+        }
+    }
+
+    /** True when @p v has been filled and holds an unconsumed sample
+     *  (or is direct, in which case it never runs dry). */
+    bool
+    has(graph::VertexId v) const
+    {
+        const std::size_t i = index_of(v);
+        if (!filled_[i]) {
+            return false;
+        }
+        if (direct_[i]) {
+            return true;
+        }
+        return idx_[i] + cnt_[i] < idx_[i + 1];
+    }
+
+    /** True when @p v's full edge list is reserved (§3.3.4). */
+    bool
+    is_direct(graph::VertexId v) const
+    {
+        const std::size_t i = index_of(v);
+        return filled_[i] && direct_[i];
+    }
+
+    /**
+     * Reserved-edge view of a direct vertex (targets + weights when the
+     * graph is weighted).  @pre is_direct(v).
+     */
+    graph::VertexView direct_view(graph::VertexId v) const;
+
+    /** Next pre-sample of @p v. @pre has(v) && !is_direct(v). */
+    graph::VertexId
+    top(graph::VertexId v) const
+    {
+        const std::size_t i = index_of(v);
+        return edges_[idx_[i] + cnt_[i]];
+    }
+
+    /** Consume the sample top(v) returned. */
+    void
+    pop(graph::VertexId v)
+    {
+        ++cnt_[index_of(v)];
+        ++consumed_;
+    }
+
+    /** Fraction of allocated (non-direct) slots consumed so far. */
+    double
+    consumed_fraction() const
+    {
+        const std::uint64_t slots = edges_.size();
+        return slots == 0 ? 1.0
+                          : static_cast<double>(consumed_) /
+                                static_cast<double>(slots);
+    }
+
+    /** Record a visit that found no sample (stall); feeds the history. */
+    void
+    record_visit(graph::VertexId v)
+    {
+        ++cnt_[index_of(v)];
+        ++stalled_;
+    }
+
+    /** Stall visits since this buffer generation was built — the
+     *  unmet-demand signal the engine's rebuild heuristic uses. */
+    std::uint64_t stall_count() const { return stalled_; }
+
+    /** Total slots allocated in this generation. */
+    std::uint64_t slot_count() const { return edges_.size(); }
+
+    /** Visit/consumption history of @p v (the rebuild weight). */
+    std::uint32_t
+    visits(graph::VertexId v) const
+    {
+        return cnt_[index_of(v)];
+    }
+
+    /** Bytes reserved against the budget. */
+    std::uint64_t memory_bytes() const { return reservation_.bytes(); }
+
+  private:
+    std::size_t
+    index_of(graph::VertexId v) const
+    {
+        return static_cast<std::size_t>(v - first_vertex_);
+    }
+
+    std::uint32_t block_id_ = 0;
+    graph::VertexId first_vertex_ = 0;
+    bool weighted_ = false;
+    std::vector<std::uint32_t> idx_;     ///< size nv+1
+    std::vector<std::uint32_t> cnt_;     ///< consumed + stall visits
+    std::vector<std::uint8_t> direct_;   ///< full-edge reservation flag
+    std::vector<std::uint8_t> filled_;   ///< fill_vertex completed
+    std::vector<graph::VertexId> edges_; ///< slot storage
+    std::vector<graph::Weight> dweights_; ///< weights for direct slots
+    std::uint64_t consumed_ = 0; ///< total pops (drain estimate)
+    std::uint64_t stalled_ = 0;  ///< stall visits since build
+    util::Reservation reservation_;
+};
+
+} // namespace noswalker::core

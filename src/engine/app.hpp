@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The NosWalker programming model (§3.2, Appendix A.3).
+ *
+ * An application supplies four functions — GenerateWalker, Sample,
+ * Active, Action — and, for second-order walks, Rejection.  All engines
+ * (NosWalker and every baseline) run the same application types, so
+ * cross-system comparisons exercise identical walk semantics.
+ *
+ * One deliberate deviation from the paper's pseudo-code (DESIGN.md §7):
+ * Algorithm 1/2 is self-inconsistent about Active's polarity; here
+ * active(w) == true means "keep walking" and an engine retires a walker
+ * as soon as active(w) turns false.
+ */
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "graph/graph_file.hpp"
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::engine {
+
+/**
+ * First-order random walk application.
+ *
+ * Requirements:
+ *  - WalkerT: POD walker state with a `location` field.
+ *  - generate(n): create the n-th walker.
+ *  - sample(view, rng): draw one out-edge destination of `view`
+ *    (this is the pre-samplable part — it depends on edge data only).
+ *  - active(w): true while the walker should keep moving.
+ *  - action(w, next): apply one movement decision; returns true when
+ *    the supplied pre-sample was consumed.
+ */
+template <typename A>
+concept RandomWalkApp = requires(A app, std::uint64_t n,
+                                 const graph::VertexView &view,
+                                 util::Rng &rng, typename A::WalkerT &w,
+                                 const typename A::WalkerT &cw,
+                                 graph::VertexId next) {
+    typename A::WalkerT;
+    { app.generate(n) } -> std::same_as<typename A::WalkerT>;
+    { app.sample(view, rng) } -> std::same_as<graph::VertexId>;
+    { app.active(cw) } -> std::same_as<bool>;
+    { app.action(w, next, rng) } -> std::same_as<bool>;
+    { cw.location } -> std::convertible_to<graph::VertexId>;
+};
+
+/**
+ * Second-order extension: action() records a candidate destination plus
+ * a trial height, and rejection() resolves the trial once the
+ * candidate's adjacency is resident (rejection sampling, Appendix A.2).
+ */
+template <typename A>
+concept SecondOrderApp =
+    RandomWalkApp<A> &&
+    requires(A app, typename A::WalkerT &w, const typename A::WalkerT &cw,
+             const graph::VertexView &candidate_view, util::Rng &rng) {
+        { app.has_candidate(cw) } -> std::same_as<bool>;
+        { app.candidate(cw) } -> std::same_as<graph::VertexId>;
+        { app.rejection(w, candidate_view, rng) } -> std::same_as<bool>;
+    };
+
+/** Compile-time dispatch helper. */
+template <typename A>
+inline constexpr bool kIsSecondOrder = SecondOrderApp<A>;
+
+/**
+ * The vertex a walker is waiting on: the pending candidate for
+ * second-order walkers, otherwise the current location.
+ */
+template <typename App>
+graph::VertexId
+waiting_vertex(const App &app, const typename App::WalkerT &w)
+{
+    if constexpr (kIsSecondOrder<App>) {
+        if (app.has_candidate(w)) {
+            return app.candidate(w);
+        }
+    }
+    return w.location;
+}
+
+} // namespace noswalker::engine

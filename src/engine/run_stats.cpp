@@ -1,0 +1,55 @@
+#include "engine/run_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace noswalker::engine {
+
+double
+RunStats::modeled_seconds() const
+{
+    const double eff = io_efficiency > 0.0 ? io_efficiency : 1.0;
+    const double io = io_busy_seconds / eff;
+    if (pipelined) {
+        return std::max(io, cpu_seconds);
+    }
+    return io + cpu_seconds;
+}
+
+double
+RunStats::edges_per_step() const
+{
+    return steps == 0 ? 0.0
+                      : static_cast<double>(edges_loaded) /
+                            static_cast<double>(steps);
+}
+
+double
+RunStats::step_rate() const
+{
+    const double t = modeled_seconds();
+    return t <= 0.0 ? 0.0 : static_cast<double>(steps) / t;
+}
+
+std::string
+RunStats::to_string() const
+{
+    std::ostringstream out;
+    out << "engine=" << engine << " walkers=" << walkers
+        << " steps=" << steps << "\n"
+        << "  graph_bytes=" << graph_bytes_read
+        << " requests=" << graph_read_requests
+        << " edges_loaded=" << edges_loaded << " swap_bytes=" << swap_bytes
+        << "\n"
+        << "  blocks=" << blocks_loaded << " fine_loads=" << fine_loads
+        << " presample_steps=" << presample_steps
+        << " block_steps=" << block_steps << " stalls=" << stalls << "\n"
+        << "  cpu_s=" << cpu_seconds << " io_busy_s=" << io_busy_seconds
+        << " eff=" << io_efficiency << " modeled_s=" << modeled_seconds()
+        << " wall_s=" << wall_seconds << "\n"
+        << "  edges/step=" << edges_per_step()
+        << " steps/s=" << step_rate() << " peak_mem=" << peak_memory;
+    return out.str();
+}
+
+} // namespace noswalker::engine

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-run result record shared by all engines.
+ *
+ * Raw counters (steps, bytes, requests) are scale-faithful; modeled
+ * time combines the device cost model with measured CPU time following
+ * the policy in DESIGN.md §2: synchronous engines pay I/O and CPU
+ * serially (scaled by their achieved disk utilisation), pipelined
+ * engines overlap them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace noswalker::engine {
+
+/** Counters and timings of one random walk run. */
+struct RunStats {
+    /** Engine name for reports. */
+    std::string engine;
+
+    /** Walkers retired. */
+    std::uint64_t walkers = 0;
+    /** Total steps moved across all walkers. */
+    std::uint64_t steps = 0;
+
+    /** Bytes of graph (edge region) data read. */
+    std::uint64_t graph_bytes_read = 0;
+    /** Graph read requests issued. */
+    std::uint64_t graph_read_requests = 0;
+    /** Edge records streamed from disk. */
+    std::uint64_t edges_loaded = 0;
+    /** Bytes of walker-state swap traffic (GraphWalker-style spilling). */
+    std::uint64_t swap_bytes = 0;
+
+    /** Coarse block loads. */
+    std::uint64_t blocks_loaded = 0;
+    /** Fine-grained (4 KiB bitmap) loads. */
+    std::uint64_t fine_loads = 0;
+
+    /** Steps served by reserved pre-samples (§3.3.5 counts separately). */
+    std::uint64_t presample_steps = 0;
+    /** Steps served directly from the currently loaded block. */
+    std::uint64_t block_steps = 0;
+    /** Walker stalls (no data available to move a walker). */
+    std::uint64_t stalls = 0;
+    /** Second-order rejection trials resolved / rejected. */
+    std::uint64_t rejection_trials = 0;
+    std::uint64_t rejection_rejected = 0;
+
+    /** Measured compute wall time, seconds. */
+    double cpu_seconds = 0.0;
+    /** Modeled device busy time, seconds (includes swap traffic). */
+    double io_busy_seconds = 0.0;
+    /** Fraction of device bandwidth the engine's I/O path achieves. */
+    double io_efficiency = 1.0;
+    /** True when the engine overlaps I/O with computation. */
+    bool pipelined = false;
+    /** Measured end-to-end wall time of the run, seconds. */
+    double wall_seconds = 0.0;
+
+    /** Peak bytes held against the memory budget. */
+    std::uint64_t peak_memory = 0;
+
+    /** Modeled end-to-end seconds (policy above). */
+    double modeled_seconds() const;
+
+    /** Average edge records loaded per step (Fig 2a). */
+    double edges_per_step() const;
+
+    /** Steps per modeled second (Fig 2b). */
+    double step_rate() const;
+
+    /** Total I/O volume in bytes (graph + swap), Fig 14's lines. */
+    std::uint64_t
+    total_io_bytes() const
+    {
+        return graph_bytes_read + swap_bytes;
+    }
+
+    /** Multi-line human-readable dump. */
+    std::string to_string() const;
+};
+
+} // namespace noswalker::engine

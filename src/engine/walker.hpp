@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Walker state records.
+ *
+ * Walker states are the "vertex data" of random walk (§2.4.2): their
+ * total size is proportional to the number of walkers, which is why
+ * their management dominates existing systems' I/O.  Records are kept
+ * POD and minimal so the spill accounting matches real byte counts.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace noswalker::engine {
+
+/** First-order walker: current position and steps taken. */
+struct Walker {
+    std::uint64_t id = 0;
+    graph::VertexId location = 0;
+    std::uint32_t step = 0;
+};
+
+/**
+ * Second-order walker (Appendix A): additionally remembers the previous
+ * vertex and, while a rejection-sampling trial is pending, the candidate
+ * destination and the uniform height h of the trial coordinate.
+ */
+struct SecondOrderWalker {
+    std::uint64_t id = 0;
+    graph::VertexId location = 0;
+    std::uint32_t step = 0;
+    graph::VertexId prev = graph::kInvalidVertex;
+    graph::VertexId candidate = graph::kInvalidVertex;
+    float h = 0.0f;
+};
+
+} // namespace noswalker::engine

@@ -1,0 +1,136 @@
+#include "engine/walker_spill.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::engine {
+
+namespace {
+
+/** Spill/reload granularity: states move in page-sized batches. */
+constexpr std::uint64_t kBatchBytes = 4096;
+
+} // namespace
+
+WalkerSpill::WalkerSpill(storage::IoDevice &device,
+                         std::uint32_t walker_bytes, std::uint64_t capacity,
+                         std::uint32_t num_blocks)
+    : device_(&device), walker_bytes_(walker_bytes), capacity_(capacity),
+      parked_(num_blocks, 0), spilled_(num_blocks, 0)
+{
+    NOSWALKER_CHECK(walker_bytes_ > 0);
+}
+
+void
+WalkerSpill::write_out(std::uint32_t block, std::uint64_t count)
+{
+    if (count == 0) {
+        return;
+    }
+    // The actual state payload is synthetic: the experiments only need
+    // byte-accurate traffic, so a zero buffer of the right size is
+    // written batch by batch.
+    std::uint64_t bytes = count * walker_bytes_;
+    static const std::vector<std::uint8_t> zeros(kBatchBytes, 0);
+    while (bytes > 0) {
+        const std::uint64_t len = std::min<std::uint64_t>(bytes, kBatchBytes);
+        device_->write(device_cursor_, len, zeros.data());
+        device_cursor_ += len;
+        swap_bytes_ += len;
+        bytes -= len;
+    }
+    spilled_[block] += count;
+    NOSWALKER_CHECK(resident_ >= count);
+    resident_ -= count;
+}
+
+void
+WalkerSpill::read_in(std::uint32_t block, std::uint64_t count)
+{
+    if (count == 0) {
+        return;
+    }
+    std::uint64_t bytes = count * walker_bytes_;
+    std::vector<std::uint8_t> scratch(kBatchBytes);
+    std::uint64_t cursor = 0;
+    while (bytes > 0) {
+        const std::uint64_t len = std::min<std::uint64_t>(bytes, kBatchBytes);
+        // Reads address the spill region written earlier; exact offsets
+        // are immaterial to the cost model, bytes and request counts are.
+        device_->read(cursor, len, scratch.data());
+        cursor += len;
+        swap_bytes_ += len;
+        bytes -= len;
+    }
+    NOSWALKER_CHECK(spilled_[block] >= count);
+    spilled_[block] -= count;
+    resident_ += count;
+}
+
+void
+WalkerSpill::spill_from_coldest(std::uint64_t need, std::uint32_t except)
+{
+    // Evict resident walkers from the fullest other buckets until @p
+    // need walkers fit (GraphWalker flushes whole buckets when its
+    // buffer fills).
+    while (need > 0) {
+        std::uint32_t victim = except;
+        std::uint64_t best = 0;
+        for (std::uint32_t b = 0; b < parked_.size(); ++b) {
+            if (b == except) {
+                continue;
+            }
+            const std::uint64_t in_mem = parked_[b] - spilled_[b];
+            if (in_mem > best) {
+                best = in_mem;
+                victim = b;
+            }
+        }
+        if (victim == except || best == 0) {
+            return; // nothing left to evict
+        }
+        const std::uint64_t count = std::min(best, need);
+        write_out(victim, count);
+        need -= count;
+    }
+}
+
+void
+WalkerSpill::park(std::uint32_t block, std::uint64_t count)
+{
+    parked_[block] += count;
+    resident_ += count;
+    if (resident_ > capacity_) {
+        const std::uint64_t excess = resident_ - capacity_;
+        const std::uint64_t in_mem = parked_[block] - spilled_[block];
+        write_out(block, std::min(excess, in_mem));
+    }
+}
+
+void
+WalkerSpill::activate(std::uint32_t block)
+{
+    const std::uint64_t need = spilled_[block];
+    if (need == 0) {
+        return;
+    }
+    if (resident_ + need > capacity_) {
+        spill_from_coldest(resident_ + need - capacity_, block);
+    }
+    read_in(block, need);
+}
+
+void
+WalkerSpill::retire(std::uint32_t block, std::uint64_t count)
+{
+    // Engines retire walkers only from an activated (fully resident)
+    // block, so the retired walkers are in memory by construction.
+    NOSWALKER_CHECK(spilled_[block] == 0);
+    NOSWALKER_CHECK(parked_[block] >= count);
+    parked_[block] -= count;
+    NOSWALKER_CHECK(resident_ >= count);
+    resident_ -= count;
+}
+
+} // namespace noswalker::engine

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Walker-state swap accounting (§2.4.2).
+ *
+ * GraphChi-descended systems keep walker states in a bounded buffer and
+ * swap overflow to disk; the paper measures this swap traffic at more
+ * than 60 % of GraphWalker's total I/O.  WalkerSpill reproduces the
+ * traffic: a global resident counter against a capacity, per-block
+ * spilled counts, and real device write/read requests for every spill
+ * and reload.  NosWalker's dynamic walker generation sets the capacity
+ * high enough that this class is never invoked — that is optimization
+ * (1) of the Fig 14 breakdown.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/io_device.hpp"
+
+namespace noswalker::engine {
+
+/** Tracks walker residency and issues swap I/O through a device. */
+class WalkerSpill {
+  public:
+    /**
+     * @param device        swap target (separate from the graph device so
+     *                      graph-I/O metrics stay clean).
+     * @param walker_bytes  size of one walker state record.
+     * @param capacity      walkers that fit in the in-memory buffer.
+     * @param num_blocks    blocks walkers can be parked in.
+     */
+    WalkerSpill(storage::IoDevice &device, std::uint32_t walker_bytes,
+                std::uint64_t capacity, std::uint32_t num_blocks);
+
+    /**
+     * Park @p count walkers in block @p block.  Walkers that exceed the
+     * buffer capacity are written out.
+     */
+    void park(std::uint32_t block, std::uint64_t count);
+
+    /**
+     * Activate block @p block for processing: spilled walkers of the
+     * block are read back in (possibly spilling other blocks to make
+     * room) and the whole bucket becomes resident.
+     */
+    void activate(std::uint32_t block);
+
+    /** Remove @p count walkers of @p block (moved away or terminated). */
+    void retire(std::uint32_t block, std::uint64_t count);
+
+    /** Total swap traffic so far in bytes. */
+    std::uint64_t swap_bytes() const { return swap_bytes_; }
+
+    /** Walkers currently resident in memory. */
+    std::uint64_t resident() const { return resident_; }
+
+  private:
+    void spill_from_coldest(std::uint64_t need, std::uint32_t except);
+    void write_out(std::uint32_t block, std::uint64_t count);
+    void read_in(std::uint32_t block, std::uint64_t count);
+
+    storage::IoDevice *device_;
+    std::uint32_t walker_bytes_;
+    std::uint64_t capacity_;
+    std::uint64_t resident_ = 0;
+    std::uint64_t swap_bytes_ = 0;
+    std::uint64_t device_cursor_ = 0; ///< append position for spills
+    std::vector<std::uint64_t> parked_;  ///< walkers per block
+    std::vector<std::uint64_t> spilled_; ///< of which, on disk
+};
+
+} // namespace noswalker::engine

@@ -1,0 +1,85 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+
+void
+GraphBuilder::add_edges(const std::vector<Edge> &edges)
+{
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+CsrGraph
+GraphBuilder::build(const BuildOptions &options, bool weighted)
+{
+    CsrGraph result = build_csr(std::move(edges_), options, weighted);
+    edges_.clear();
+    return result;
+}
+
+CsrGraph
+build_csr(std::vector<Edge> edges, const BuildOptions &options, bool weighted)
+{
+    if (options.symmetrize) {
+        const std::size_t n = edges.size();
+        edges.reserve(n * 2);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Edge &e = edges[i];
+            if (e.src != e.dst) {
+                edges.push_back(Edge{e.dst, e.src, e.weight});
+            }
+        }
+    }
+    if (options.remove_self_loops) {
+        std::erase_if(edges, [](const Edge &e) { return e.src == e.dst; });
+    }
+
+    std::sort(edges.begin(), edges.end(), [](const Edge &a, const Edge &b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+
+    if (options.dedup) {
+        edges.erase(std::unique(edges.begin(), edges.end(),
+                                [](const Edge &a, const Edge &b) {
+                                    return a.src == b.src && a.dst == b.dst;
+                                }),
+                    edges.end());
+    }
+
+    VertexId num_vertices = options.num_vertices;
+    for (const Edge &e : edges) {
+        num_vertices = std::max({num_vertices, e.src + 1, e.dst + 1});
+    }
+
+    std::vector<EdgeIndex> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                   0);
+    for (const Edge &e : edges) {
+        ++offsets[e.src + 1];
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+        offsets[i] += offsets[i - 1];
+    }
+
+    std::vector<VertexId> targets(edges.size());
+    std::vector<Weight> weights;
+    if (weighted) {
+        weights.resize(edges.size());
+    }
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        targets[i] = edges[i].dst;
+        if (weighted) {
+            weights[i] = edges[i].weight;
+        }
+    }
+
+    CsrGraph graph(std::move(offsets), std::move(targets),
+                   std::move(weights));
+    graph.set_sorted(true);
+    return graph;
+}
+
+} // namespace noswalker::graph

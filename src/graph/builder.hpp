@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Edge-list to CSR builder.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace noswalker::graph {
+
+/** Options controlling CSR construction. */
+struct BuildOptions {
+    /** Add the reverse of every edge (Node2Vec needs undirected). */
+    bool symmetrize = false;
+    /** Drop duplicate (src,dst) pairs (keeps the first weight). */
+    bool dedup = false;
+    /** Drop self loops. */
+    bool remove_self_loops = false;
+    /**
+     * Force the vertex count (0 = max endpoint + 1).  Generators pass
+     * the exact count so isolated tail vertices are kept.
+     */
+    VertexId num_vertices = 0;
+};
+
+/**
+ * Incremental edge-list builder producing a CsrGraph.
+ *
+ * Adjacency lists in the result are sorted by destination, which enables
+ * binary-search has_edge() — the Node2Vec rejection step depends on it.
+ */
+class GraphBuilder {
+  public:
+    GraphBuilder() = default;
+
+    /** Pre-allocate space for @p n edges. */
+    void reserve(std::size_t n) { edges_.reserve(n); }
+
+    /** Append a directed edge. */
+    void
+    add_edge(VertexId src, VertexId dst, Weight weight = 1.0f)
+    {
+        edges_.push_back(Edge{src, dst, weight});
+    }
+
+    /** Append a batch of directed edges. */
+    void add_edges(const std::vector<Edge> &edges);
+
+    /** Number of edges accumulated so far. */
+    std::size_t size() const { return edges_.size(); }
+
+    /**
+     * Build the CSR graph and release the edge list.
+     * @param weighted  store per-edge weights in the result.
+     */
+    CsrGraph build(const BuildOptions &options = {}, bool weighted = false);
+
+  private:
+    std::vector<Edge> edges_;
+};
+
+/** Convenience: build a CSR straight from an edge vector. */
+CsrGraph build_csr(std::vector<Edge> edges, const BuildOptions &options = {},
+                   bool weighted = false);
+
+} // namespace noswalker::graph

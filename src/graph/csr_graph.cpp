@@ -1,0 +1,86 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets,
+                   std::vector<VertexId> targets,
+                   std::vector<Weight> weights)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)),
+      weights_(std::move(weights))
+{
+    validate();
+}
+
+bool
+CsrGraph::has_edge(VertexId u, VertexId v) const
+{
+    const auto nbrs = neighbors(u);
+    if (sorted_) {
+        return std::binary_search(nbrs.begin(), nbrs.end(), v);
+    }
+    return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::uint64_t
+CsrGraph::csr_bytes() const
+{
+    return offsets_.size() * sizeof(EdgeIndex) +
+           targets_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(Weight);
+}
+
+std::uint32_t
+CsrGraph::max_degree() const
+{
+    std::uint32_t best = 0;
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+        best = std::max(best, degree(v));
+    }
+    return best;
+}
+
+double
+CsrGraph::average_degree() const
+{
+    const VertexId v = num_vertices();
+    return v == 0 ? 0.0
+                  : static_cast<double>(num_edges()) /
+                        static_cast<double>(v);
+}
+
+void
+CsrGraph::validate() const
+{
+    if (offsets_.empty()) {
+        if (!targets_.empty() || !weights_.empty()) {
+            throw util::ConfigError("CsrGraph: edges without offsets");
+        }
+        return;
+    }
+    if (offsets_.front() != 0) {
+        throw util::ConfigError("CsrGraph: offsets must start at 0");
+    }
+    for (std::size_t i = 1; i < offsets_.size(); ++i) {
+        if (offsets_[i] < offsets_[i - 1]) {
+            throw util::ConfigError("CsrGraph: offsets must be sorted");
+        }
+    }
+    if (offsets_.back() != targets_.size()) {
+        throw util::ConfigError("CsrGraph: offsets/targets size mismatch");
+    }
+    if (!weights_.empty() && weights_.size() != targets_.size()) {
+        throw util::ConfigError("CsrGraph: weights/targets size mismatch");
+    }
+    const VertexId v = num_vertices();
+    for (VertexId t : targets_) {
+        if (t >= v) {
+            throw util::ConfigError("CsrGraph: target out of range");
+        }
+    }
+}
+
+} // namespace noswalker::graph

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-memory CSR graph.
+ *
+ * The reference representation: generators build it, the on-disk format
+ * serializes it, the in-memory baselines (ThunderRW-like, KnightKing
+ * model) walk it directly, and tests use it as the ground-truth oracle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace noswalker::graph {
+
+/**
+ * Compressed-sparse-row directed graph, optionally edge-weighted.
+ *
+ * Invariants: offsets().size() == num_vertices()+1, offsets are
+ * non-decreasing, offsets.back() == num_edges(), and weights (when
+ * present) parallel the targets array.
+ */
+class CsrGraph {
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Adopt CSR arrays.
+     * @param offsets  per-vertex edge offsets, size V+1.
+     * @param targets  edge destination array, size E.
+     * @param weights  optional per-edge weights (empty = unweighted).
+     */
+    CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
+             std::vector<Weight> weights = {});
+
+    /** Number of vertices. */
+    VertexId
+    num_vertices() const
+    {
+        return offsets_.empty() ? 0
+                                : static_cast<VertexId>(offsets_.size() - 1);
+    }
+
+    /** Number of directed edges. */
+    EdgeIndex num_edges() const { return targets_.size(); }
+
+    /** True when per-edge weights are stored. */
+    bool weighted() const { return !weights_.empty(); }
+
+    /** Out-degree of @p v. */
+    std::uint32_t
+    degree(VertexId v) const
+    {
+        return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    /** Out-neighbours of @p v. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {targets_.data() + offsets_[v], degree(v)};
+    }
+
+    /** Weights parallel to neighbors(v); empty when unweighted. */
+    std::span<const Weight>
+    weights(VertexId v) const
+    {
+        if (!weighted()) {
+            return {};
+        }
+        return {weights_.data() + offsets_[v], degree(v)};
+    }
+
+    /** Raw offsets array (size V+1). */
+    const std::vector<EdgeIndex> &offsets() const { return offsets_; }
+
+    /** Raw targets array (size E). */
+    const std::vector<VertexId> &targets() const { return targets_; }
+
+    /** Raw weights array (size E or 0). */
+    const std::vector<Weight> &all_weights() const { return weights_; }
+
+    /**
+     * Whether edge (u,v) exists.  O(degree) scan unless the adjacency is
+     * sorted, in which case binary search is used.
+     */
+    bool has_edge(VertexId u, VertexId v) const;
+
+    /** Mark adjacency lists as sorted (set by the builder). */
+    void set_sorted(bool sorted) { sorted_ = sorted; }
+
+    /** True when each adjacency list is ascending. */
+    bool sorted() const { return sorted_; }
+
+    /** Size of the CSR payload in bytes (offsets + targets + weights). */
+    std::uint64_t csr_bytes() const;
+
+    /** Maximum out-degree over all vertices. */
+    std::uint32_t max_degree() const;
+
+    /** Mean out-degree. */
+    double average_degree() const;
+
+    /** Validate invariants; throws util::ConfigError on violation. */
+    void validate() const;
+
+  private:
+    std::vector<EdgeIndex> offsets_;
+    std::vector<VertexId> targets_;
+    std::vector<Weight> weights_;
+    bool sorted_ = false;
+};
+
+} // namespace noswalker::graph

@@ -1,0 +1,101 @@
+#include "graph/datasets.hpp"
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+
+const std::vector<DatasetSpec> &
+all_datasets()
+{
+    static const std::vector<DatasetSpec> specs = {
+        {DatasetId::kTwitter, "TW'", "Twitter", false, false},
+        {DatasetId::kYahoo, "YH'", "YahooWeb", false, false},
+        {DatasetId::kKron30, "K30'", "Kron30", false, false},
+        {DatasetId::kKron31, "K31'", "Kron31", false, false},
+        {DatasetId::kCrawlWeb, "CW'", "CrawlWeb", false, false},
+        {DatasetId::kKron30W, "K30W'", "Weighted Kron30", true, true},
+        {DatasetId::kG12, "G12'", "G12", false, false},
+        {DatasetId::kAlpha27, "a2.7'", "alpha2.7", false, false},
+    };
+    return specs;
+}
+
+const DatasetSpec &
+dataset_spec(DatasetId id)
+{
+    for (const DatasetSpec &spec : all_datasets()) {
+        if (spec.id == id) {
+            return spec;
+        }
+    }
+    throw util::ConfigError("dataset_spec: unknown dataset id");
+}
+
+CsrGraph
+build_dataset(DatasetId id, unsigned scale, std::uint64_t seed)
+{
+    // Size ratios follow Table 1: K31 doubles K30, CW doubles K31,
+    // TW/YH are the small in-memory graphs, G12/α2.7 have more
+    // vertices than K30 but similar edge volume.
+    switch (id) {
+      case DatasetId::kTwitter: {
+        RmatParams p;
+        p.scale = scale - 2;
+        p.edge_factor = 24; // Twitter's |E|/|V| ≈ 24
+        p.seed = seed;
+        return generate_rmat(p);
+      }
+      case DatasetId::kYahoo: {
+        RmatParams p;
+        p.scale = scale - 1;
+        p.edge_factor = 5; // YahooWeb's |E|/|V| ≈ 4.7
+        p.seed = seed + 1;
+        return generate_rmat(p);
+      }
+      case DatasetId::kKron30: {
+        RmatParams p;
+        p.scale = scale;
+        p.edge_factor = 32; // Graph500 default
+        p.seed = seed + 2;
+        return generate_rmat(p);
+      }
+      case DatasetId::kKron31: {
+        RmatParams p;
+        p.scale = scale + 1;
+        p.edge_factor = 32;
+        p.seed = seed + 3;
+        return generate_rmat(p);
+      }
+      case DatasetId::kCrawlWeb: {
+        RmatParams p;
+        p.scale = scale + 2;
+        p.edge_factor = 36; // CW's |E|/|V| ≈ 37
+        p.seed = seed + 4;
+        return generate_rmat(p);
+      }
+      case DatasetId::kKron30W: {
+        RmatParams p;
+        p.scale = scale;
+        p.edge_factor = 32;
+        p.seed = seed + 2; // same structure as K30'
+        p.weighted = true;
+        return generate_rmat(p);
+      }
+      case DatasetId::kG12: {
+        const auto n = static_cast<VertexId>(
+            (VertexId{1} << scale) * 27 / 10); // 2.7× K30's vertices
+        return generate_uniform(n, 12, seed + 5);
+      }
+      case DatasetId::kAlpha27: {
+        const auto n = static_cast<VertexId>(
+            (VertexId{1} << scale) * 42 / 10); // 4.2× K30's vertices
+        // min degree 3 gives a mean of ~7, matching the paper's 6.4
+        // edges per vertex for alpha2.7.
+        return generate_power_law(n, 2.7, 3, 512, seed + 6);
+      }
+    }
+    throw util::ConfigError("build_dataset: unknown dataset id");
+}
+
+} // namespace noswalker::graph

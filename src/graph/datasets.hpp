@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Scaled-down twins of the paper's datasets (Table 1).
+ *
+ * The originals (Twitter, YahooWeb, Kron30/31, CrawlWeb, K30W, G12,
+ * α2.7) reach 128 B edges; the twins keep every structural property the
+ * evaluation depends on — degree distribution, weightedness, vertex/
+ * edge ratio — at a size a single test machine handles, and every
+ * memory budget in the bench harness is expressed as a *fraction* of
+ * the twin's size, mirroring the paper's 64 GiB ≈ 12 % setup
+ * (DESIGN.md §2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace noswalker::graph {
+
+/** Identifier of one dataset twin. */
+enum class DatasetId {
+    kTwitter,   ///< TW': RMAT, social-network skew
+    kYahoo,     ///< YH': RMAT, sparser web-graph profile
+    kKron30,    ///< K30': Graph500 Kronecker, edge factor 32
+    kKron31,    ///< K31': Kronecker, one scale larger
+    kCrawlWeb,  ///< CW': Kronecker, largest twin
+    kKron30W,   ///< K30W': weighted K30' (+ on-disk alias tables)
+    kG12,       ///< G12': uniform 12-regular
+    kAlpha27,   ///< α2.7': configuration-model power law, α = 2.7
+};
+
+/** Descriptor of a twin. */
+struct DatasetSpec {
+    DatasetId id;
+    std::string name;       ///< paper name, primed (e.g. "K30'")
+    std::string paper_name; ///< the original (e.g. "Kron30")
+    bool weighted = false;
+    bool alias_tables = false;
+};
+
+/** All eight twins in Table 1 order. */
+const std::vector<DatasetSpec> &all_datasets();
+
+/** Spec of one twin. */
+const DatasetSpec &dataset_spec(DatasetId id);
+
+/**
+ * Build a twin at the given scale knob.
+ *
+ * @param scale  log2-ish size control: the default (16) yields graphs
+ *        of roughly 0.5–4 M edges; tests pass smaller values.
+ */
+CsrGraph build_dataset(DatasetId id, unsigned scale = 16,
+                       std::uint64_t seed = 1);
+
+} // namespace noswalker::graph

@@ -1,0 +1,90 @@
+#include "graph/edge_list_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+
+std::vector<Edge>
+read_edge_list(std::istream &in, const EdgeListOptions &options)
+{
+    std::vector<Edge> edges;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        // Strip comments and blank lines.
+        const std::size_t first =
+            line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#' ||
+            line[first] == '%') {
+            continue;
+        }
+        std::istringstream tokens(line);
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        if (!(tokens >> src >> dst)) {
+            throw util::ConfigError(
+                "edge list: malformed line " +
+                std::to_string(line_number) + ": '" + line + "'");
+        }
+        Edge edge;
+        edge.src = static_cast<VertexId>(src);
+        edge.dst = static_cast<VertexId>(dst);
+        if (options.weighted) {
+            double w = 1.0;
+            if (!(tokens >> w)) {
+                throw util::ConfigError(
+                    "edge list: missing weight on line " +
+                    std::to_string(line_number));
+            }
+            edge.weight = static_cast<Weight>(w);
+        }
+        edges.push_back(edge);
+    }
+    return edges;
+}
+
+CsrGraph
+load_edge_list(const std::string &path, const EdgeListOptions &options)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw util::IoError("edge list: cannot open '" + path + "'");
+    }
+    return build_csr(read_edge_list(in, options), options.build,
+                     options.weighted);
+}
+
+void
+write_edge_list(const CsrGraph &graph, std::ostream &out)
+{
+    out << "# noswalker edge list: " << graph.num_vertices()
+        << " vertices, " << graph.num_edges() << " edges\n";
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+        const auto nbrs = graph.neighbors(u);
+        const auto weights = graph.weights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            out << u << ' ' << nbrs[i];
+            if (!weights.empty()) {
+                out << ' ' << weights[i];
+            }
+            out << '\n';
+        }
+    }
+}
+
+void
+save_edge_list(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw util::IoError("edge list: cannot create '" + path + "'");
+    }
+    write_edge_list(graph, out);
+}
+
+} // namespace noswalker::graph

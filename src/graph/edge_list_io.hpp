@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text edge-list import/export.
+ *
+ * Lets users bring the public datasets the paper evaluates (SNAP/
+ * WebGraph-style "u v [w]" lines) into the on-disk format.  Lines
+ * starting with '#' or '%' are comments; tokens are whitespace
+ * separated; an optional third column is the edge weight.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace noswalker::graph {
+
+/** Options for text edge-list parsing. */
+struct EdgeListOptions {
+    /** Treat a third column as the edge weight. */
+    bool weighted = false;
+    /** Build options forwarded to the CSR builder. */
+    BuildOptions build;
+};
+
+/**
+ * Parse a text edge list from @p in.
+ * @throws util::ConfigError on malformed lines (with line number).
+ */
+std::vector<Edge> read_edge_list(std::istream &in,
+                                 const EdgeListOptions &options = {});
+
+/**
+ * Load a text edge-list file straight into a CSR graph.
+ * @throws util::IoError when the file cannot be opened.
+ */
+CsrGraph load_edge_list(const std::string &path,
+                        const EdgeListOptions &options = {});
+
+/** Write @p graph to @p out as "u v" (or "u v w") lines. */
+void write_edge_list(const CsrGraph &graph, std::ostream &out);
+
+/** Write @p graph to a text file at @p path. */
+void save_edge_list(const CsrGraph &graph, const std::string &path);
+
+} // namespace noswalker::graph

@@ -1,0 +1,252 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::graph {
+
+namespace {
+
+/** Draw one R-MAT edge by recursive quadrant descent. */
+Edge
+rmat_edge(unsigned scale, const RmatParams &p, util::Rng &rng)
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+        const double r = rng.next_double();
+        src <<= 1;
+        dst <<= 1;
+        if (r < p.a) {
+            // top-left: no bits set
+        } else if (r < p.a + p.b) {
+            dst |= 1;
+        } else if (r < p.a + p.b + p.c) {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    return Edge{src, dst, 1.0f};
+}
+
+void
+attach_weights(std::vector<Edge> &edges, util::Rng &rng)
+{
+    for (Edge &e : edges) {
+        e.weight = static_cast<Weight>(rng.next_double()) + 1e-6f;
+    }
+}
+
+} // namespace
+
+CsrGraph
+generate_rmat(const RmatParams &params)
+{
+    if (params.a + params.b + params.c >= 1.0) {
+        throw util::ConfigError("generate_rmat: a+b+c must be < 1");
+    }
+    const VertexId n = VertexId{1} << params.scale;
+    const EdgeIndex m =
+        static_cast<EdgeIndex>(n) * params.edge_factor;
+
+    util::Rng rng(params.seed);
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (EdgeIndex i = 0; i < m; ++i) {
+        edges.push_back(rmat_edge(params.scale, params, rng));
+    }
+    if (params.weighted) {
+        attach_weights(edges, rng);
+    }
+
+    BuildOptions options;
+    options.num_vertices = n;
+    options.symmetrize = params.symmetrize;
+    return build_csr(std::move(edges), options, params.weighted);
+}
+
+CsrGraph
+generate_power_law(VertexId num_vertices, double alpha,
+                   std::uint32_t min_degree, std::uint32_t max_degree,
+                   std::uint64_t seed, bool weighted)
+{
+    if (min_degree == 0 || max_degree < min_degree) {
+        throw util::ConfigError("generate_power_law: bad degree range");
+    }
+    util::Rng rng(seed);
+
+    // Degree distribution P(k) ∝ k^-alpha via inverse-CDF table.
+    std::vector<double> cdf;
+    cdf.reserve(max_degree - min_degree + 1);
+    double total = 0.0;
+    for (std::uint32_t k = min_degree; k <= max_degree; ++k) {
+        total += std::pow(static_cast<double>(k), -alpha);
+        cdf.push_back(total);
+    }
+    for (double &x : cdf) {
+        x /= total;
+    }
+
+    std::vector<std::uint32_t> degree(num_vertices);
+    EdgeIndex total_edges = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        const double r = rng.next_double();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        degree[v] =
+            min_degree + static_cast<std::uint32_t>(it - cdf.begin());
+        total_edges += degree[v];
+    }
+
+    // Stub matching: targets drawn proportionally to target degree by
+    // shuffling a global stub list (configuration model).
+    std::vector<VertexId> stubs;
+    stubs.reserve(total_edges);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (std::uint32_t i = 0; i < degree[v]; ++i) {
+            stubs.push_back(v);
+        }
+    }
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+        std::swap(stubs[i - 1], stubs[rng.next_index(i)]);
+    }
+
+    std::vector<Edge> edges;
+    edges.reserve(total_edges);
+    std::size_t stub = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (std::uint32_t i = 0; i < degree[v]; ++i) {
+            edges.push_back(Edge{v, stubs[stub++], 1.0f});
+        }
+    }
+    if (weighted) {
+        attach_weights(edges, rng);
+    }
+
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options, weighted);
+}
+
+CsrGraph
+generate_uniform(VertexId num_vertices, std::uint32_t degree,
+                 std::uint64_t seed, bool weighted)
+{
+    if (num_vertices < 2) {
+        throw util::ConfigError("generate_uniform: need >= 2 vertices");
+    }
+    util::Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) * degree);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        for (std::uint32_t i = 0; i < degree; ++i) {
+            VertexId dst;
+            do {
+                dst = static_cast<VertexId>(rng.next_index(num_vertices));
+            } while (dst == v);
+            edges.push_back(Edge{v, dst, 1.0f});
+        }
+    }
+    if (weighted) {
+        attach_weights(edges, rng);
+    }
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options, weighted);
+}
+
+CsrGraph
+generate_erdos_renyi(VertexId num_vertices, EdgeIndex num_edges,
+                     std::uint64_t seed, bool weighted)
+{
+    util::Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeIndex i = 0; i < num_edges; ++i) {
+        const auto src =
+            static_cast<VertexId>(rng.next_index(num_vertices));
+        const auto dst =
+            static_cast<VertexId>(rng.next_index(num_vertices));
+        edges.push_back(Edge{src, dst, 1.0f});
+    }
+    if (weighted) {
+        attach_weights(edges, rng);
+    }
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options, weighted);
+}
+
+CsrGraph
+generate_cycle(VertexId num_vertices)
+{
+    std::vector<Edge> edges;
+    edges.reserve(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        edges.push_back(Edge{v, (v + 1) % num_vertices, 1.0f});
+    }
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options);
+}
+
+CsrGraph
+generate_complete(VertexId num_vertices)
+{
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) *
+                  (num_vertices - 1));
+    for (VertexId u = 0; u < num_vertices; ++u) {
+        for (VertexId v = 0; v < num_vertices; ++v) {
+            if (u != v) {
+                edges.push_back(Edge{u, v, 1.0f});
+            }
+        }
+    }
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options);
+}
+
+CsrGraph
+generate_star(VertexId num_vertices)
+{
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v < num_vertices; ++v) {
+        edges.push_back(Edge{0, v, 1.0f});
+        edges.push_back(Edge{v, 0, 1.0f});
+    }
+    BuildOptions options;
+    options.num_vertices = num_vertices;
+    return build_csr(std::move(edges), options);
+}
+
+CsrGraph
+generate_paper_toy()
+{
+    // Figure 3(a): block A holds v0..v2 and their out-edges, block B the
+    // rest.  v0 has the six-edge fanout used in the worked example.
+    std::vector<Edge> edges;
+    const auto add = [&edges](VertexId u, std::initializer_list<VertexId> vs) {
+        for (VertexId v : vs) {
+            edges.push_back(Edge{u, v, 1.0f});
+        }
+    };
+    add(0, {0, 1, 2, 3, 4, 5});
+    add(1, {0, 2, 4});
+    add(2, {0, 3, 5, 6});
+    add(3, {1, 2, 6});
+    add(4, {0, 3, 5});
+    add(5, {2, 4, 6});
+    add(6, {0, 1, 5});
+    BuildOptions options;
+    options.num_vertices = 7;
+    return build_csr(std::move(edges), options);
+}
+
+} // namespace noswalker::graph

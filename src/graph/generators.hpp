@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These stand in for the paper's datasets (Table 1): Graph500-style
+ * Kronecker/R-MAT for the power-law graphs (TW/YH/K30/K31/CW twins), a
+ * configuration-model power-law generator for α2.7, and a uniform
+ * d-regular generator for G12.  Deterministic toy graphs support tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace noswalker::graph {
+
+/** Parameters for the R-MAT / Kronecker generator. */
+struct RmatParams {
+    /** log2 of the vertex count. */
+    unsigned scale = 16;
+    /** Edges per vertex. */
+    unsigned edge_factor = 16;
+    /** Quadrant probabilities; Graph500 uses (0.57, 0.19, 0.19, 0.05). */
+    double a = 0.57, b = 0.19, c = 0.19;
+    std::uint64_t seed = 1;
+    /** Also emit reverse edges. */
+    bool symmetrize = false;
+    /** Attach uniform(0,1] weights to edges. */
+    bool weighted = false;
+};
+
+/**
+ * Graph500-style Kronecker (R-MAT) graph: 2^scale vertices,
+ * edge_factor * 2^scale directed edges, heavy power-law skew.
+ */
+CsrGraph generate_rmat(const RmatParams &params);
+
+/**
+ * Configuration-model graph with power-law degree distribution
+ * P(deg = k) ∝ k^-alpha for k in [min_degree, max_degree]
+ * (Molloy–Reed / Bollobás stub matching).  alpha = 2.7 reproduces the
+ * paper's flat α2.7 dataset.
+ */
+CsrGraph generate_power_law(VertexId num_vertices, double alpha,
+                            std::uint32_t min_degree,
+                            std::uint32_t max_degree, std::uint64_t seed,
+                            bool weighted = false);
+
+/** Uniform d-regular graph: every vertex has exactly @p degree out-edges
+ *  chosen uniformly at random (the paper's G12 with degree = 12). */
+CsrGraph generate_uniform(VertexId num_vertices, std::uint32_t degree,
+                          std::uint64_t seed, bool weighted = false);
+
+/** Erdős–Rényi G(n, m): @p num_edges uniform random directed edges. */
+CsrGraph generate_erdos_renyi(VertexId num_vertices, EdgeIndex num_edges,
+                              std::uint64_t seed, bool weighted = false);
+
+/** Directed cycle 0→1→...→n-1→0. */
+CsrGraph generate_cycle(VertexId num_vertices);
+
+/** Complete directed graph without self loops. */
+CsrGraph generate_complete(VertexId num_vertices);
+
+/** Star: hub 0 points at every other vertex, leaves point back at 0. */
+CsrGraph generate_star(VertexId num_vertices);
+
+/**
+ * The paper's Figure 3 toy graph: 7 vertices, 2 blocks (v0..v2 / v3..v6),
+ * used in worked examples and unit tests.
+ */
+CsrGraph generate_paper_toy();
+
+} // namespace noswalker::graph

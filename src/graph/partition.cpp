@@ -1,0 +1,61 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+
+BlockPartition::BlockPartition(const GraphFile &file,
+                               std::uint64_t block_bytes)
+    : target_bytes_(block_bytes)
+{
+    if (block_bytes == 0) {
+        throw util::ConfigError("BlockPartition: block_bytes must be > 0");
+    }
+    const VertexId num_vertices = file.num_vertices();
+    VertexId v = 0;
+    while (v < num_vertices) {
+        BlockInfo info;
+        info.id = static_cast<std::uint32_t>(blocks_.size());
+        info.first_vertex = v;
+        info.edge_begin = file.edge_begin(v);
+        info.byte_begin = file.vertex_byte_offset(v);
+
+        std::uint64_t bytes = 0;
+        VertexId end = v;
+        while (end < num_vertices) {
+            const std::uint64_t rec = file.vertex_byte_size(end);
+            if (bytes > 0 && bytes + rec > block_bytes) {
+                break;
+            }
+            bytes += rec;
+            ++end;
+            if (bytes >= block_bytes) {
+                break;
+            }
+        }
+        info.end_vertex = end;
+        info.byte_size = bytes;
+        info.num_edges = file.edge_begin(end) - info.edge_begin;
+        blocks_.push_back(info);
+        firsts_.push_back(info.first_vertex);
+        max_block_bytes_ = std::max(max_block_bytes_, bytes);
+        v = end;
+    }
+    if (blocks_.empty()) {
+        // Zero-vertex graph still gets one empty block for uniformity.
+        blocks_.push_back(BlockInfo{});
+        firsts_.push_back(0);
+    }
+}
+
+std::uint32_t
+BlockPartition::block_of(VertexId v) const
+{
+    const auto it = std::upper_bound(firsts_.begin(), firsts_.end(), v);
+    NOSWALKER_CHECK(it != firsts_.begin());
+    return static_cast<std::uint32_t>((it - firsts_.begin()) - 1);
+}
+
+} // namespace noswalker::graph

@@ -1,0 +1,92 @@
+#include "storage/async_loader.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace noswalker::storage {
+
+AsyncLoader::AsyncLoader(BlockReader &reader, bool background)
+    : reader_(&reader), background_(background)
+{
+    if (background_) {
+        thread_ = std::thread([this] { loop(); });
+    }
+}
+
+AsyncLoader::~AsyncLoader()
+{
+    requests_.close();
+    responses_.close();
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+}
+
+void
+AsyncLoader::submit(Request request)
+{
+    NOSWALKER_CHECK(!outstanding_);
+    NOSWALKER_CHECK(request.block != nullptr);
+    outstanding_ = true;
+    if (background_) {
+        requests_.push(std::move(request));
+    } else {
+        sync_request_ = std::move(request);
+    }
+}
+
+AsyncLoader::Response
+AsyncLoader::wait()
+{
+    NOSWALKER_CHECK(outstanding_);
+    outstanding_ = false;
+    if (!background_) {
+        Response response = execute(*sync_request_);
+        sync_request_.reset();
+        return response;
+    }
+    auto response = responses_.pop();
+    NOSWALKER_CHECK(response.has_value());
+    if (response->error) {
+        std::rethrow_exception(response->error);
+    }
+    return std::move(*response);
+}
+
+AsyncLoader::Response
+AsyncLoader::execute(Request &request)
+{
+    Response response;
+    response.block = request.block;
+    response.fine = request.fine;
+    try {
+        if (request.fine) {
+            response.result = reader_->load_fine(*request.block,
+                                                 request.needed,
+                                                 response.buffer);
+        } else {
+            response.result =
+                reader_->load_coarse(*request.block, response.buffer);
+        }
+    } catch (...) {
+        response.error = std::current_exception();
+    }
+    return response;
+}
+
+void
+AsyncLoader::loop()
+{
+    for (;;) {
+        auto request = requests_.pop();
+        if (!request.has_value()) {
+            return;
+        }
+        if (!responses_.push(execute(*request))) {
+            return;
+        }
+    }
+}
+
+} // namespace noswalker::storage

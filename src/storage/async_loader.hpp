@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Background block loader (Figure 6 ①).
+ *
+ * NosWalker decouples disk loading from walker processing: a dedicated
+ * I/O thread keeps pulling the scheduler's chosen blocks into buffers
+ * while the processing thread consumes pre-samples.  One request is in
+ * flight at a time (the paper allocates "a small number of block
+ * buffers"); the processing thread overlaps its work with the next
+ * load.
+ */
+#pragma once
+
+#include <exception>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "storage/block_reader.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace noswalker::storage {
+
+/** Runs a BlockReader on a background thread. */
+class AsyncLoader {
+  public:
+    /** A load order from the scheduler. */
+    struct Request {
+        const graph::BlockInfo *block = nullptr;
+        bool fine = false;
+        /** Fine mode: vertices whose pages must be loaded. */
+        std::vector<graph::VertexId> needed;
+    };
+
+    /** A completed load. */
+    struct Response {
+        const graph::BlockInfo *block = nullptr;
+        bool fine = false;
+        BlockBuffer buffer;
+        LoadResult result;
+        /** Set when the load threw; rethrown by the consumer. */
+        std::exception_ptr error;
+    };
+
+    /**
+     * @param reader     the block reader to drive.
+     * @param background spawn the loader thread; false = loads execute
+     *                   synchronously inside wait() (0-thread mode).
+     */
+    explicit AsyncLoader(BlockReader &reader, bool background = true);
+
+    /** Drains and joins the loader thread. */
+    ~AsyncLoader();
+
+    AsyncLoader(const AsyncLoader &) = delete;
+    AsyncLoader &operator=(const AsyncLoader &) = delete;
+
+    /** Queue a load. At most one may be outstanding. */
+    void submit(Request request);
+
+    /** True when a submitted load has not been consumed yet. */
+    bool outstanding() const { return outstanding_; }
+
+    /**
+     * Wait for the outstanding load and return it.
+     * @pre outstanding().
+     */
+    Response wait();
+
+  private:
+    Response execute(Request &request);
+    void loop();
+
+    BlockReader *reader_;
+    bool background_;
+    bool outstanding_ = false;
+    std::optional<Request> sync_request_;
+    util::BlockingQueue<Request> requests_{1};
+    util::BlockingQueue<Response> responses_{1};
+    std::thread thread_;
+};
+
+} // namespace noswalker::storage

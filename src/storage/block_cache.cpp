@@ -1,0 +1,54 @@
+#include "storage/block_cache.hpp"
+
+namespace noswalker::storage {
+
+const BlockBuffer *
+BlockCache::get(BlockReader &reader, const graph::BlockInfo &block,
+                BlockBuffer &scratch)
+{
+    const auto it = index_.find(block.id);
+    if (it != index_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return &lru_.front().buffer;
+    }
+
+    ++misses_;
+    BlockBuffer loaded;
+    reader.load_coarse(block, loaded);
+    const std::uint64_t bytes = loaded.capacity_bytes();
+    if (bytes > capacity_) {
+        // Too large to cache: hand it back through the scratch buffer.
+        scratch = std::move(loaded);
+        return &scratch;
+    }
+    evict_for(bytes, block.id);
+    lru_.push_front(Entry{block.id, std::move(loaded)});
+    index_[block.id] = lru_.begin();
+    used_ += bytes;
+    return &lru_.front().buffer;
+}
+
+void
+BlockCache::evict_for(std::uint64_t need, std::uint32_t keep)
+{
+    while (used_ + need > capacity_ && !lru_.empty()) {
+        auto victim = std::prev(lru_.end());
+        if (victim->block_id == keep) {
+            break;
+        }
+        used_ -= victim->buffer.capacity_bytes();
+        index_.erase(victim->block_id);
+        lru_.erase(victim);
+    }
+}
+
+void
+BlockCache::clear()
+{
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
+}
+
+} // namespace noswalker::storage

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * LRU cache of loaded block buffers — the "cached block region" of
+ * Figure 1(a).
+ *
+ * The paper caps every system's memory *including the page cache* with
+ * cgroups, so GraphChi-descended baselines keep recently streamed
+ * blocks in memory up to the budget and skip re-reading them.  This
+ * cache models exactly that: block-granular, LRU, byte-capacity bound.
+ * NosWalker deliberately does not use it — its memory goes to the
+ * pre-sample pool instead, which is the architectural contrast the
+ * paper draws in Figure 1.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/block_reader.hpp"
+
+namespace noswalker::storage {
+
+/** Byte-bounded LRU cache of coarse block buffers. */
+class BlockCache {
+  public:
+    /** Cache holding at most @p capacity_bytes of block data. */
+    explicit BlockCache(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    /**
+     * Get @p block's buffer, serving from cache when resident.
+     *
+     * On a miss the block is loaded through @p reader; if it fits the
+     * capacity it is cached (evicting least-recently-used blocks),
+     * otherwise it is loaded into @p scratch.  The returned pointer
+     * stays valid until the next get() call.
+     */
+    const BlockBuffer *get(BlockReader &reader,
+                           const graph::BlockInfo &block,
+                           BlockBuffer &scratch);
+
+    /** Cache hits so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Cache misses (loads actually performed). */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Bytes currently cached. */
+    std::uint64_t used_bytes() const { return used_; }
+
+    /** Drop everything. */
+    void clear();
+
+  private:
+    struct Entry {
+        std::uint32_t block_id;
+        BlockBuffer buffer;
+    };
+
+    void evict_for(std::uint64_t need, std::uint32_t keep);
+
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+};
+
+} // namespace noswalker::storage

@@ -1,0 +1,167 @@
+#include "storage/block_reader.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::storage {
+
+namespace {
+
+std::uint64_t
+align_down(std::uint64_t x, std::uint64_t a)
+{
+    return x / a * a;
+}
+
+std::uint64_t
+align_up(std::uint64_t x, std::uint64_t a)
+{
+    return (x + a - 1) / a * a;
+}
+
+} // namespace
+
+bool
+BlockBuffer::vertex_loaded(const graph::GraphFile &file,
+                           graph::VertexId v) const
+{
+    if (info_ == nullptr || !info_->contains(v)) {
+        return false;
+    }
+    if (complete_) {
+        return true;
+    }
+    const std::uint64_t begin = file.vertex_byte_offset(v);
+    const std::uint64_t len = file.vertex_byte_size(v);
+    if (len == 0) {
+        return true;
+    }
+    const std::uint64_t first_page =
+        (begin - aligned_begin_) / BlockReader::kPageBytes;
+    const std::uint64_t last_page =
+        (begin + len - 1 - aligned_begin_) / BlockReader::kPageBytes;
+    for (std::uint64_t p = first_page; p <= last_page; ++p) {
+        if (!valid_pages_.test(p)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BlockBuffer::clear()
+{
+    info_ = nullptr;
+    data_.clear();
+    data_.shrink_to_fit();
+    valid_pages_.resize(0);
+    complete_ = false;
+    reservation_.release();
+}
+
+BlockReader::BlockReader(const graph::GraphFile &file,
+                         util::MemoryBudget &budget,
+                         std::uint64_t max_request)
+    : file_(&file), budget_(&budget), max_request_(max_request)
+{
+    NOSWALKER_CHECK(max_request_ >= kPageBytes);
+}
+
+void
+BlockReader::prepare(const graph::BlockInfo &block, BlockBuffer &out)
+{
+    out.clear();
+    out.info_ = &block;
+    out.aligned_begin_ = align_down(block.byte_begin, kPageBytes);
+    const std::uint64_t aligned_end =
+        align_up(block.byte_begin + block.byte_size, kPageBytes);
+    const std::uint64_t bytes = aligned_end - out.aligned_begin_;
+    out.reservation_ =
+        util::Reservation(*budget_, bytes, "block buffer");
+    out.data_.resize(bytes);
+    out.valid_pages_.resize(bytes / kPageBytes);
+    out.complete_ = false;
+}
+
+LoadResult
+BlockReader::load_coarse(const graph::BlockInfo &block, BlockBuffer &out)
+{
+    prepare(block, out);
+    LoadResult result;
+    // Clamp to the device end: the last page of the file may be partial.
+    const std::uint64_t device_end = file_->device().size();
+    std::uint64_t pos = out.aligned_begin_;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(out.aligned_begin_ + out.data_.size(),
+                                device_end);
+    while (pos < end) {
+        const std::uint64_t len = std::min(max_request_, end - pos);
+        file_->device().read(pos, len,
+                             out.data_.data() + (pos - out.aligned_begin_));
+        result.bytes_read += len;
+        ++result.requests;
+        pos += len;
+    }
+    out.complete_ = true;
+    return result;
+}
+
+LoadResult
+BlockReader::load_fine(const graph::BlockInfo &block,
+                       std::span<const graph::VertexId> needed_vertices,
+                       BlockBuffer &out)
+{
+    prepare(block, out);
+
+    // Mark the pages covering each needed vertex's record.
+    util::Bitmap &pages = out.valid_pages_;
+    for (graph::VertexId v : needed_vertices) {
+        if (!block.contains(v)) {
+            continue;
+        }
+        const std::uint64_t begin = file_->vertex_byte_offset(v);
+        const std::uint64_t len = file_->vertex_byte_size(v);
+        if (len == 0) {
+            continue;
+        }
+        const std::uint64_t first_page =
+            (begin - out.aligned_begin_) / kPageBytes;
+        const std::uint64_t last_page =
+            (begin + len - 1 - out.aligned_begin_) / kPageBytes;
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+            pages.set(p);
+        }
+    }
+
+    // Coalesce runs of marked pages into single requests (bounded by
+    // max_request_) and read them into place.
+    LoadResult result;
+    const std::uint64_t device_end = file_->device().size();
+    const std::uint64_t num_pages = pages.size();
+    std::uint64_t p = 0;
+    while (p < num_pages) {
+        if (!pages.test(p)) {
+            ++p;
+            continue;
+        }
+        std::uint64_t run_end = p + 1;
+        while (run_end < num_pages && pages.test(run_end) &&
+               (run_end - p) * kPageBytes < max_request_) {
+            ++run_end;
+        }
+        const std::uint64_t off = out.aligned_begin_ + p * kPageBytes;
+        std::uint64_t len = (run_end - p) * kPageBytes;
+        if (off < device_end) {
+            len = std::min(len, device_end - off);
+            file_->device().read(off, len,
+                                 out.data_.data() + p * kPageBytes);
+            result.bytes_read += len;
+            ++result.requests;
+        }
+        p = run_end;
+    }
+    return result;
+}
+
+} // namespace noswalker::storage

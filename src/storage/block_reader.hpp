@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Coarse- and fine-grained block loading (§3.3.1).
+ *
+ * Coarse mode streams a whole block in large sequential requests
+ * (bandwidth-bound on the SsdModel).  Fine mode loads only the 4 KiB
+ * pages that stalled walkers need, following a page bitmap (IOPS-bound)
+ * — adjacent marked pages are coalesced into single requests, exactly
+ * like issuing one larger NVMe command.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "util/bitmap.hpp"
+#include "util/memory_budget.hpp"
+
+namespace noswalker::storage {
+
+/**
+ * An in-memory copy of (part of) one block's edge region.
+ *
+ * The buffer covers the page-aligned byte span of the block; in fine
+ * mode only marked pages hold valid data and `vertex_loaded` reports
+ * whether a vertex's record is fully resident.
+ */
+class BlockBuffer {
+  public:
+    BlockBuffer() = default;
+
+    /** The block this buffer holds (nullptr when empty). */
+    const graph::BlockInfo *info() const { return info_; }
+
+    /** True when the whole block is resident (coarse load). */
+    bool complete() const { return complete_; }
+
+    /** Whether vertex @p v's record is fully resident. */
+    bool vertex_loaded(const graph::GraphFile &file,
+                       graph::VertexId v) const;
+
+    /** Decode vertex @p v. @pre vertex_loaded(file, v). */
+    graph::VertexView
+    view(const graph::GraphFile &file, graph::VertexId v) const
+    {
+        return file.decode(v, data_, aligned_begin_);
+    }
+
+    /** Bytes currently held by the buffer. */
+    std::uint64_t capacity_bytes() const { return data_.size(); }
+
+    /** Release the data and detach from the block. */
+    void clear();
+
+  private:
+    friend class BlockReader;
+
+    const graph::BlockInfo *info_ = nullptr;
+    std::uint64_t aligned_begin_ = 0;
+    std::vector<std::uint8_t> data_;
+    util::Bitmap valid_pages_; ///< fine mode: which pages are resident
+    bool complete_ = false;
+    util::Reservation reservation_;
+};
+
+/** Result of one load operation. */
+struct LoadResult {
+    std::uint64_t bytes_read = 0;
+    std::uint64_t requests = 0;
+};
+
+/**
+ * Streams blocks of a GraphFile into BlockBuffers through its IoDevice.
+ */
+class BlockReader {
+  public:
+    /** Page size for fine-grained mode (one SSD page). */
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    /**
+     * @param file       the on-disk graph.
+     * @param budget     block-buffer memory is reserved here.
+     * @param max_request cap on a single coarse request (default 8 MiB),
+     *        mimicking bounded async-I/O submission sizes.
+     */
+    BlockReader(const graph::GraphFile &file, util::MemoryBudget &budget,
+                std::uint64_t max_request = 8ULL << 20);
+
+    /** Load the whole of @p block into @p out (coarse mode). */
+    LoadResult load_coarse(const graph::BlockInfo &block, BlockBuffer &out);
+
+    /**
+     * Load only the 4 KiB pages of @p block covering the records of
+     * @p needed_vertices (fine mode, §3.3.1).  Vertices outside the
+     * block are ignored.
+     */
+    LoadResult load_fine(const graph::BlockInfo &block,
+                         std::span<const graph::VertexId> needed_vertices,
+                         BlockBuffer &out);
+
+    /** The graph file being read. */
+    const graph::GraphFile &file() const { return *file_; }
+
+  private:
+    /** Attach @p out to @p block and size its buffer (budgeted). */
+    void prepare(const graph::BlockInfo &block, BlockBuffer &out);
+
+    const graph::GraphFile *file_;
+    util::MemoryBudget *budget_;
+    std::uint64_t max_request_;
+};
+
+} // namespace noswalker::storage

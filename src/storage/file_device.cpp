@@ -1,0 +1,86 @@
+#include "storage/file_device.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace noswalker::storage {
+
+FileDevice::FileDevice(const std::string &path, SsdModel model)
+    : IoDevice(model), path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+        throw util::IoError("FileDevice: cannot open '" + path +
+                            "': " + std::strerror(errno));
+    }
+}
+
+FileDevice::~FileDevice()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+std::uint64_t
+FileDevice::size() const
+{
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+        throw util::IoError("FileDevice: fstat failed on '" + path_ +
+                            "': " + std::strerror(errno));
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+void
+FileDevice::sync()
+{
+    ::fsync(fd_);
+}
+
+void
+FileDevice::do_read(std::uint64_t offset, std::uint64_t len, void *buffer)
+{
+    std::uint8_t *out = static_cast<std::uint8_t *>(buffer);
+    std::uint64_t done = 0;
+    while (done < len) {
+        const ssize_t got =
+            ::pread(fd_, out + done, len - done,
+                    static_cast<off_t>(offset + done));
+        if (got < 0) {
+            throw util::IoError("FileDevice: pread failed on '" + path_ +
+                                "': " + std::strerror(errno));
+        }
+        if (got == 0) {
+            throw util::IoError("FileDevice: short read on '" + path_ + "'");
+        }
+        done += static_cast<std::uint64_t>(got);
+    }
+}
+
+void
+FileDevice::do_write(std::uint64_t offset, std::uint64_t len,
+                     const void *buffer)
+{
+    const std::uint8_t *in = static_cast<const std::uint8_t *>(buffer);
+    std::uint64_t done = 0;
+    while (done < len) {
+        const ssize_t put =
+            ::pwrite(fd_, in + done, len - done,
+                     static_cast<off_t>(offset + done));
+        if (put < 0) {
+            throw util::IoError("FileDevice: pwrite failed on '" + path_ +
+                                "': " + std::strerror(errno));
+        }
+        done += static_cast<std::uint64_t>(put);
+    }
+}
+
+} // namespace noswalker::storage

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * POSIX file-backed device.
+ *
+ * Used when a run should exercise the real filesystem (examples and the
+ * on-disk integration tests); the cost model still accumulates modeled
+ * busy time so results are comparable with MemDevice runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/io_device.hpp"
+
+namespace noswalker::storage {
+
+/** Device over a regular file, using pread/pwrite. */
+class FileDevice final : public IoDevice {
+  public:
+    /**
+     * Open (creating if needed) @p path.
+     * @throws util::IoError when the file cannot be opened.
+     */
+    explicit FileDevice(const std::string &path,
+                        SsdModel model = SsdModel::p4618());
+
+    ~FileDevice() override;
+
+    std::uint64_t size() const override;
+
+    /** Path this device is bound to. */
+    const std::string &path() const { return path_; }
+
+    /** Flush file contents to stable storage. */
+    void sync();
+
+  protected:
+    void do_read(std::uint64_t offset, std::uint64_t len,
+                 void *buffer) override;
+    void do_write(std::uint64_t offset, std::uint64_t len,
+                  const void *buffer) override;
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+} // namespace noswalker::storage

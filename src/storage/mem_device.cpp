@@ -1,0 +1,32 @@
+#include "storage/mem_device.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace noswalker::storage {
+
+void
+MemDevice::do_read(std::uint64_t offset, std::uint64_t len, void *buffer)
+{
+    if (offset + len > data_.size()) {
+        throw util::IoError("MemDevice: read past end (offset " +
+                            std::to_string(offset) + " len " +
+                            std::to_string(len) + " size " +
+                            std::to_string(data_.size()) + ")");
+    }
+    std::memcpy(buffer, data_.data() + offset, len);
+}
+
+void
+MemDevice::do_write(std::uint64_t offset, std::uint64_t len,
+                    const void *buffer)
+{
+    if (offset + len > data_.size()) {
+        data_.resize(offset + len);
+    }
+    std::memcpy(data_.data() + offset, buffer, len);
+}
+
+} // namespace noswalker::storage

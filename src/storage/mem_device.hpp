@@ -1,0 +1,46 @@
+/**
+ * @file
+ * In-memory backing store with SSD cost accounting.
+ *
+ * The default experiment device: data lives in RAM (so runs are fast
+ * and deterministic) while the SsdModel accounts what the same request
+ * stream would cost on the paper's hardware.  Counters and modeled time
+ * are identical to FileDevice for the same request sequence.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/io_device.hpp"
+
+namespace noswalker::storage {
+
+/** Byte-vector device; grows on writes past the end. */
+class MemDevice final : public IoDevice {
+  public:
+    /** Empty device with the given cost model. */
+    explicit MemDevice(SsdModel model = SsdModel::p4618())
+        : IoDevice(model) {}
+
+    /** Device pre-loaded with @p data. */
+    MemDevice(std::vector<std::uint8_t> data, SsdModel model)
+        : IoDevice(model), data_(std::move(data)) {}
+
+    std::uint64_t size() const override { return data_.size(); }
+
+    /** Direct access to the backing bytes (test fixtures, loaders). */
+    std::vector<std::uint8_t> &bytes() { return data_; }
+    const std::vector<std::uint8_t> &bytes() const { return data_; }
+
+  protected:
+    void do_read(std::uint64_t offset, std::uint64_t len,
+                 void *buffer) override;
+    void do_write(std::uint64_t offset, std::uint64_t len,
+                  const void *buffer) override;
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace noswalker::storage

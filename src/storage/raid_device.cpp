@@ -1,0 +1,115 @@
+#include "storage/raid_device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace noswalker::storage {
+
+Raid0Device::Raid0Device(unsigned num_members, std::uint64_t chunk_bytes,
+                         SsdModel member_model)
+    : IoDevice(SsdModel::instant()), chunk_bytes_(chunk_bytes)
+{
+    if (num_members == 0 || chunk_bytes == 0) {
+        throw util::ConfigError("Raid0Device: need members and chunk size");
+    }
+    members_.reserve(num_members);
+    for (unsigned i = 0; i < num_members; ++i) {
+        members_.push_back(std::make_unique<MemDevice>(member_model));
+    }
+}
+
+std::unique_ptr<Raid0Device>
+Raid0Device::paper_array()
+{
+    // Seven S4610: array totals 3.4 GiB/s seq and 150k IOPS (paper
+    // numbers); one member contributes a seventh of each.
+    SsdModel member;
+    member.seq_bandwidth = 3.4 * static_cast<double>(1ULL << 30) / 7.0;
+    member.iops = 150'000.0 / 7.0;
+    return std::make_unique<Raid0Device>(7, 64 * 1024, member);
+}
+
+std::uint64_t
+Raid0Device::size() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : members_) {
+        total += m->size();
+    }
+    return total;
+}
+
+IoStats
+Raid0Device::stats() const
+{
+    IoStats logical = IoDevice::stats();
+    logical.busy_seconds = array_stats().busy_seconds;
+    return logical;
+}
+
+IoStats
+Raid0Device::array_stats() const
+{
+    IoStats agg;
+    double max_busy = 0.0;
+    for (const auto &m : members_) {
+        const IoStats s = m->stats();
+        agg.bytes_read += s.bytes_read;
+        agg.bytes_written += s.bytes_written;
+        agg.read_requests += s.read_requests;
+        agg.write_requests += s.write_requests;
+        max_busy = std::max(max_busy, s.busy_seconds);
+    }
+    agg.busy_seconds = max_busy;
+    return agg;
+}
+
+template <typename Fn>
+void
+Raid0Device::for_each_chunk(std::uint64_t offset, std::uint64_t len, Fn &&fn)
+{
+    std::uint64_t pos = offset;
+    std::uint64_t remaining = len;
+    std::uint64_t buf_off = 0;
+    while (remaining > 0) {
+        const std::uint64_t chunk_index = pos / chunk_bytes_;
+        const std::uint64_t within = pos % chunk_bytes_;
+        const std::uint64_t member = chunk_index % members_.size();
+        const std::uint64_t member_chunk = chunk_index / members_.size();
+        const std::uint64_t member_off = member_chunk * chunk_bytes_ + within;
+        const std::uint64_t span =
+            std::min(remaining, chunk_bytes_ - within);
+        fn(member, member_off, buf_off, span);
+        pos += span;
+        buf_off += span;
+        remaining -= span;
+    }
+}
+
+void
+Raid0Device::do_read(std::uint64_t offset, std::uint64_t len, void *buffer)
+{
+    std::uint8_t *out = static_cast<std::uint8_t *>(buffer);
+    for_each_chunk(offset, len,
+                   [&](std::uint64_t member, std::uint64_t member_off,
+                       std::uint64_t buf_off, std::uint64_t span) {
+                       members_[member]->read(member_off, span,
+                                              out + buf_off);
+                   });
+}
+
+void
+Raid0Device::do_write(std::uint64_t offset, std::uint64_t len,
+                      const void *buffer)
+{
+    const std::uint8_t *in = static_cast<const std::uint8_t *>(buffer);
+    for_each_chunk(offset, len,
+                   [&](std::uint64_t member, std::uint64_t member_off,
+                       std::uint64_t buf_off, std::uint64_t span) {
+                       members_[member]->write(member_off, span,
+                                               in + buf_off);
+                   });
+}
+
+} // namespace noswalker::storage

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RAID-0 striping device (Fig 12 b/c substrate).
+ *
+ * Stripes a logical address space over N member devices at a fixed
+ * chunk size.  Each member accrues its own modeled busy time; because
+ * members serve sub-requests in parallel, the array's busy time is the
+ * maximum over members (exposed via stats().busy_seconds).  With the
+ * seven-S4610 preset the array is bandwidth-rich but IOPS-poor relative
+ * to the NVMe device, which is exactly the regime Fig 12 explores.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/io_device.hpp"
+#include "storage/mem_device.hpp"
+
+namespace noswalker::storage {
+
+/** RAID-0 over in-memory members. */
+class Raid0Device final : public IoDevice {
+  public:
+    /**
+     * @param num_members  member disk count (paper: 7).
+     * @param chunk_bytes  stripe chunk (default 64 KiB).
+     * @param member_model cost model of one member device.
+     */
+    Raid0Device(unsigned num_members, std::uint64_t chunk_bytes,
+                SsdModel member_model);
+
+    /** Seven Intel S4610 members matching the paper's array. */
+    static std::unique_ptr<Raid0Device> paper_array();
+
+    std::uint64_t size() const override;
+
+    /**
+     * Logical request/byte counters of the array with busy time taken as
+     * the maximum over members (members serve in parallel).
+     */
+    IoStats stats() const override;
+
+    /** Aggregate member stats with busy time = max over members. */
+    IoStats array_stats() const;
+
+    /** Member count. */
+    unsigned num_members() const
+    {
+        return static_cast<unsigned>(members_.size());
+    }
+
+  protected:
+    void do_read(std::uint64_t offset, std::uint64_t len,
+                 void *buffer) override;
+    void do_write(std::uint64_t offset, std::uint64_t len,
+                  const void *buffer) override;
+
+  private:
+    /** Map logical (offset,len) to per-member sub-requests. */
+    template <typename Fn>
+    void for_each_chunk(std::uint64_t offset, std::uint64_t len, Fn &&fn);
+
+    std::uint64_t chunk_bytes_;
+    std::vector<std::unique_ptr<MemDevice>> members_;
+};
+
+} // namespace noswalker::storage

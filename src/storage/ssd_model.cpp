@@ -1,0 +1,45 @@
+#include "storage/ssd_model.hpp"
+
+#include <algorithm>
+
+namespace noswalker::storage {
+
+double
+SsdModel::request_seconds(std::uint64_t len) const
+{
+    if (seq_bandwidth <= 0.0 || iops <= 0.0) {
+        return 0.0;
+    }
+    const double bw_time = static_cast<double>(len) / seq_bandwidth;
+    const double iops_time = 1.0 / iops;
+    return std::max(bw_time, iops_time);
+}
+
+SsdModel
+SsdModel::p4618()
+{
+    SsdModel m;
+    m.seq_bandwidth = 3.1 * static_cast<double>(1ULL << 30);
+    m.iops = 600'000.0;
+    return m;
+}
+
+SsdModel
+SsdModel::raid0_s4610()
+{
+    SsdModel m;
+    m.seq_bandwidth = 3.4 * static_cast<double>(1ULL << 30);
+    m.iops = 150'000.0;
+    return m;
+}
+
+SsdModel
+SsdModel::instant()
+{
+    SsdModel m;
+    m.seq_bandwidth = 0.0;
+    m.iops = 0.0;
+    return m;
+}
+
+} // namespace noswalker::storage

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analytic SSD cost model.
+ *
+ * Substitute for the paper's physical devices (DESIGN.md §2).  Modern
+ * SSDs deliver either high sequential bandwidth or high IOPS but not
+ * both (§3.3.1); the standard first-order model captures exactly this:
+ *
+ *     t(request of len bytes) = max(len / seq_bandwidth, 1 / iops)
+ *
+ * With the P4618 numbers (3.1 GiB/s, 600k IOPS) a 4 KiB read costs
+ * 1/600k s (IOPS bound → 2.4 GiB/s effective, matching the paper) and a
+ * multi-MiB read costs len/bw (bandwidth bound).  Devices accumulate the
+ * modeled time of every request as "busy seconds".
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace noswalker::storage {
+
+/** Device performance parameters and the request-time formula. */
+struct SsdModel {
+    /** Sequential read bandwidth, bytes per second. */
+    double seq_bandwidth = 3.1 * (1ULL << 30);
+    /** Sustained small-request rate, requests per second. */
+    double iops = 600'000.0;
+    /** Smallest addressable request (one SSD page). */
+    std::uint32_t page_bytes = 4096;
+
+    /** Modeled seconds for a single request of @p len bytes. */
+    double request_seconds(std::uint64_t len) const;
+
+    /** Intel SSD DC P4618 (the paper's NVMe device). */
+    static SsdModel p4618();
+
+    /** RAID-0 of seven Intel S4610 (3.4 GiB/s seq, 150k IOPS @4 KiB). */
+    static SsdModel raid0_s4610();
+
+    /** Infinitely fast device (unit tests, in-memory baselines). */
+    static SsdModel instant();
+};
+
+} // namespace noswalker::storage

@@ -1,0 +1,117 @@
+#include "util/alias_table.hpp"
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace noswalker::util {
+
+void
+AliasTable::build(std::span<const double> weights)
+{
+    const std::size_t n = weights.size();
+    NOSWALKER_CHECK(n > 0);
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    double total = 0.0;
+    for (double w : weights) {
+        NOSWALKER_CHECK(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0) {
+        throw ConfigError("AliasTable: all weights are zero");
+    }
+
+    // Scaled weights: mean 1.  Partition into under-/over-full slots.
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * scale;
+        if (scaled[i] < 1.0) {
+            small.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            large.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        const std::uint32_t l = large.back();
+        small.pop_back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0) {
+            small.push_back(l);
+        } else {
+            large.push_back(l);
+        }
+    }
+    // Numerical leftovers are exactly-full slots.
+    for (std::uint32_t l : large) {
+        prob_[l] = 1.0;
+    }
+    for (std::uint32_t s : small) {
+        prob_[s] = 1.0;
+    }
+}
+
+void
+build_alias_arrays(std::span<const double> weights, std::span<float> prob,
+                   std::span<std::uint32_t> alias)
+{
+    const std::size_t n = weights.size();
+    NOSWALKER_CHECK(n > 0 && prob.size() == n && alias.size() == n);
+
+    double total = 0.0;
+    for (double w : weights) {
+        NOSWALKER_CHECK(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0) {
+        throw ConfigError("build_alias_arrays: all weights are zero");
+    }
+
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * scale;
+        alias[i] = static_cast<std::uint32_t>(i);
+        if (scaled[i] < 1.0) {
+            small.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            large.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        const std::uint32_t l = large.back();
+        small.pop_back();
+        large.pop_back();
+        prob[s] = static_cast<float>(scaled[s]);
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0) {
+            small.push_back(l);
+        } else {
+            large.push_back(l);
+        }
+    }
+    for (std::uint32_t l : large) {
+        prob[l] = 1.0f;
+    }
+    for (std::uint32_t s : small) {
+        prob[s] = 1.0f;
+    }
+}
+
+} // namespace noswalker::util

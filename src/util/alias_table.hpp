@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Alias-method table for O(1) weighted sampling (Walker/Vose).
+ *
+ * The paper's weighted-graph experiments (K30W, §4.4) store a
+ * pre-generated alias table per vertex instead of the raw adjacency list,
+ * as is common in random walk systems.  AliasTable implements the
+ * classical structure; graph::WeightedCsr builds one per vertex.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace noswalker::util {
+
+/**
+ * Alias table over n outcomes with given non-negative weights.
+ *
+ * Sampling costs one random draw and at most one comparison.  Build cost
+ * is O(n) (Vose's algorithm).
+ */
+class AliasTable {
+  public:
+    AliasTable() = default;
+
+    /**
+     * Build from weights.
+     * @param weights non-negative weights; at least one must be positive.
+     */
+    explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+    /** Rebuild in place from a new weight vector. */
+    void build(std::span<const double> weights);
+
+    /** Number of outcomes. */
+    std::size_t size() const { return prob_.size(); }
+
+    /** True if no outcomes have been loaded. */
+    bool empty() const { return prob_.empty(); }
+
+    /** Draw an outcome index in [0, size()). @pre !empty(). */
+    std::uint32_t
+    sample(Rng &rng) const
+    {
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(rng.next_index(prob_.size()));
+        return rng.next_double() < prob_[slot] ? slot : alias_[slot];
+    }
+
+    /** Bytes of heap memory held by this table. */
+    std::size_t
+    memory_bytes() const
+    {
+        return prob_.capacity() * sizeof(double) +
+               alias_.capacity() * sizeof(std::uint32_t);
+    }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+/**
+ * Compute alias-method arrays into caller-provided storage.
+ *
+ * Used by the on-disk graph format to serialize per-vertex alias tables
+ * (prob as float for compactness).
+ * @pre prob.size() == alias.size() == weights.size() > 0.
+ */
+void build_alias_arrays(std::span<const double> weights,
+                        std::span<float> prob,
+                        std::span<std::uint32_t> alias);
+
+} // namespace noswalker::util

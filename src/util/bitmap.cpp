@@ -1,0 +1,38 @@
+#include "util/bitmap.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace noswalker::util {
+
+void
+Bitmap::resize(std::size_t nbits)
+{
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, 0);
+}
+
+void
+Bitmap::reset()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+std::size_t
+Bitmap::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t word : words_) {
+        n += static_cast<std::size_t>(std::popcount(word));
+    }
+    return n;
+}
+
+bool
+Bitmap::none() const
+{
+    return std::all_of(words_.begin(), words_.end(),
+                       [](std::uint64_t w) { return w == 0; });
+}
+
+} // namespace noswalker::util

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded blocking MPMC queue.
+ *
+ * Connects NosWalker's background block-loader thread to the walker
+ * processing threads (Figure 6: block buffers feed the pre-sampler).
+ * Capacity bounds the number of in-flight block buffers, which is what
+ * keeps the loader from outrunning the memory budget.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace noswalker::util {
+
+/** Bounded FIFO with blocking push/pop and cooperative shutdown. */
+template <typename T>
+class BlockingQueue {
+  public:
+    /** Queue holding at most @p capacity elements. */
+    explicit BlockingQueue(std::size_t capacity = 4) : capacity_(capacity) {}
+
+    /**
+     * Push @p value, blocking while full.
+     * @return false if the queue was closed (value dropped).
+     */
+    bool
+    push(T value)
+    {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || queue_.size() < capacity_;
+        });
+        if (closed_) {
+            return false;
+        }
+        queue_.push_back(std::move(value));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop the oldest element, blocking while empty.
+     * @return nullopt when the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Non-blocking pop. */
+    std::optional<T>
+    try_pop()
+    {
+        std::lock_guard lock(mutex_);
+        if (queue_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Close the queue: producers fail, consumers drain then get nullopt. */
+    void
+    close()
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    /** Current element count. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return queue_.size();
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+};
+
+} // namespace noswalker::util

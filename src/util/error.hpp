@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error handling helpers.
+ *
+ * Following the gem5 fatal()/panic() split: user-caused conditions (bad
+ * configuration, missing files, infeasible memory budgets) throw
+ * ConfigError; internal invariant violations abort via CHECK.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace noswalker::util {
+
+/** Error caused by user input: configuration, files, budgets. */
+class ConfigError : public std::runtime_error {
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Error surfaced by the I/O substrate (failed read, short file, ...). */
+class IoError : public std::runtime_error {
+  public:
+    explicit IoError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+check_failed(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "NOSWALKER_CHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+    std::abort();
+}
+
+} // namespace detail
+
+/**
+ * Internal invariant check, enabled in all build types.
+ *
+ * Unlike assert(), survives NDEBUG builds: the engines rely on these
+ * invariants for memory safety of the compact buffers.
+ */
+#define NOSWALKER_CHECK(expr)                                               \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::noswalker::util::detail::check_failed(#expr, __FILE__,        \
+                                                    __LINE__);              \
+        }                                                                   \
+    } while (false)
+
+} // namespace noswalker::util

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * Engines and the bench harness log progress/diagnostics at runtime-
+ * selectable levels; tests run silent by default.
+ */
+#pragma once
+
+#include <cstdarg>
+
+namespace noswalker::util {
+
+/** Severity levels, ordered. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/** Set the global minimum level that is emitted (default kWarn). */
+void set_log_level(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel log_level();
+
+/** printf-style log at @p level to stderr. */
+void log(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define NOSWALKER_LOG_DEBUG(...)                                            \
+    ::noswalker::util::log(::noswalker::util::LogLevel::kDebug, __VA_ARGS__)
+#define NOSWALKER_LOG_INFO(...)                                             \
+    ::noswalker::util::log(::noswalker::util::LogLevel::kInfo, __VA_ARGS__)
+#define NOSWALKER_LOG_WARN(...)                                             \
+    ::noswalker::util::log(::noswalker::util::LogLevel::kWarn, __VA_ARGS__)
+#define NOSWALKER_LOG_ERROR(...)                                            \
+    ::noswalker::util::log(::noswalker::util::LogLevel::kError, __VA_ARGS__)
+
+} // namespace noswalker::util

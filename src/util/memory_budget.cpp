@@ -1,0 +1,85 @@
+#include "util/memory_budget.hpp"
+
+#include <limits>
+
+namespace noswalker::util {
+
+std::uint64_t
+MemoryBudget::available() const
+{
+    if (limit_ == 0) {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+    const std::uint64_t u = used();
+    return u >= limit_ ? 0 : limit_ - u;
+}
+
+void
+MemoryBudget::reserve(std::uint64_t bytes, const char *label)
+{
+    if (!try_reserve(bytes)) {
+        throw BudgetExceeded(
+            "memory budget exceeded reserving " + std::to_string(bytes) +
+            " bytes for '" + label + "' (used " + std::to_string(used()) +
+            " / limit " + std::to_string(limit_) + ")");
+    }
+}
+
+bool
+MemoryBudget::try_reserve(std::uint64_t bytes)
+{
+    std::uint64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+        const std::uint64_t next = cur + bytes;
+        if (limit_ != 0 && next > limit_) {
+            return false;
+        }
+        if (used_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+            bump_peak(next);
+            return true;
+        }
+    }
+}
+
+void
+MemoryBudget::release(std::uint64_t bytes)
+{
+    const std::uint64_t prev =
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+    NOSWALKER_CHECK(prev >= bytes);
+}
+
+void
+MemoryBudget::bump_peak(std::uint64_t now)
+{
+    std::uint64_t cur = peak_.load(std::memory_order_relaxed);
+    while (now > cur &&
+           !peak_.compare_exchange_weak(cur, now,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+void
+Reservation::resize(std::uint64_t new_bytes)
+{
+    NOSWALKER_CHECK(budget_ != nullptr);
+    if (new_bytes > bytes_) {
+        budget_->reserve(new_bytes - bytes_, "resize");
+    } else if (new_bytes < bytes_) {
+        budget_->release(bytes_ - new_bytes);
+    }
+    bytes_ = new_bytes;
+}
+
+void
+Reservation::release()
+{
+    if (budget_ != nullptr && bytes_ > 0) {
+        budget_->release(bytes_);
+    }
+    budget_ = nullptr;
+    bytes_ = 0;
+}
+
+} // namespace noswalker::util

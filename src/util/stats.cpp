@@ -1,0 +1,25 @@
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace noswalker::util {
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    for (const auto &[name, value] : other.counters_) {
+        counters_[name] += value;
+    }
+}
+
+std::string
+StatsRegistry::to_string() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters_) {
+        out << name << "=" << value << "\n";
+    }
+    return out.str();
+}
+
+} // namespace noswalker::util

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lightweight named-counter registry.
+ *
+ * Engines expose fine-grained counters (pre-sample hits, fine-mode I/Os,
+ * spilled walkers, ...) that the bench harness prints alongside the
+ * headline RunStats.  Counters are plain uint64 bumps; negligible cost.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace noswalker::util {
+
+/** A set of named monotonically increasing counters. */
+class StatsRegistry {
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of counter @p name (0 if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        const auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Merge another registry into this one (summing shared names). */
+    void merge(const StatsRegistry &other);
+
+    /** Render as "name=value" lines. */
+    std::string to_string() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace noswalker::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by engines and benchmarks.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace noswalker::util {
+
+/** Monotonic stopwatch measuring wall-clock seconds. */
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulating timer: sums the durations of many start/stop intervals. */
+class AccumTimer {
+  public:
+    /** Begin an interval. */
+    void start() { timer_.reset(); running_ = true; }
+
+    /** End the current interval and add it to the total. */
+    void
+    stop()
+    {
+        if (running_) {
+            total_ += timer_.seconds();
+            running_ = false;
+        }
+    }
+
+    /** Total accumulated seconds over all completed intervals. */
+    double seconds() const { return total_; }
+
+  private:
+    Timer timer_;
+    double total_ = 0.0;
+    bool running_ = false;
+};
+
+} // namespace noswalker::util

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Test-only application that records every transition a walker takes,
+ * so property tests can assert "every step follows a real edge" and
+ * per-walker step-count invariants against the reference CSR.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/app.hpp"
+#include "engine/walker.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::testing_support {
+
+/** Uniform walk that logs (from, to) transitions and per-walker steps. */
+class RecordingWalk {
+  public:
+    using WalkerT = engine::Walker;
+
+    RecordingWalk(std::uint32_t length, graph::VertexId num_vertices)
+        : length_(length), num_vertices_(num_vertices)
+    {
+    }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        util::SplitMix64 mix(n * 77 + 13);
+        return WalkerT{
+            n, static_cast<graph::VertexId>(mix.next() % num_vertices_),
+            0};
+    }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_uniform(rng);
+    }
+
+    bool active(const WalkerT &w) const { return w.step < length_; }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &)
+    {
+        transitions.emplace_back(w.location, next);
+        ++steps_per_walker[w.id];
+        w.location = next;
+        ++w.step;
+        return true;
+    }
+
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> transitions;
+    std::unordered_map<std::uint64_t, std::uint32_t> steps_per_walker;
+
+  private:
+    std::uint32_t length_;
+    graph::VertexId num_vertices_;
+};
+
+static_assert(engine::RandomWalkApp<RecordingWalk>);
+
+/**
+ * A memory budget that is genuinely out-of-core (a fraction of the file)
+ * but never below the engine's fixed floor (CSR index + two block
+ * buffers + working slack), which dominates at unit-test graph sizes.
+ */
+inline std::uint64_t
+tight_budget(const graph::GraphFile &file,
+             const graph::BlockPartition &partition, double fraction = 0.33)
+{
+    const std::uint64_t page = 4096;
+    const std::uint64_t buffers =
+        2 * ((partition.max_block_bytes() / page + 2) * page);
+    const std::uint64_t floor =
+        file.index_bytes() + buffers + 48 * 1024;
+    const auto frac = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(file.file_bytes()));
+    return std::max(floor, frac);
+}
+
+} // namespace noswalker::testing_support

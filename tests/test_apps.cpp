@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Application-level tests: PPR, SimRank, RWD, Graphlet, DeepWalk.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "apps/deepwalk.hpp"
+#include "apps/graphlet.hpp"
+#include "apps/ppr.hpp"
+#include "apps/rwd.hpp"
+#include "apps/simrank.hpp"
+#include "baselines/inmemory.hpp"
+#include "core/noswalker_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "storage/mem_device.hpp"
+
+namespace noswalker::apps {
+namespace {
+
+struct Fixture {
+    graph::CsrGraph graph;
+    storage::MemDevice device;
+    std::unique_ptr<graph::GraphFile> file;
+    std::unique_ptr<graph::BlockPartition> partition;
+
+    explicit Fixture(graph::CsrGraph g, std::uint64_t block_bytes = 4096)
+        : graph(std::move(g))
+    {
+        graph::GraphFile::write(graph, device);
+        file = std::make_unique<graph::GraphFile>(device);
+        partition =
+            std::make_unique<graph::BlockPartition>(*file, block_bytes);
+    }
+};
+
+TEST(Ppr, WalkerScheduleCoversSources)
+{
+    std::vector<graph::VertexId> sources = {3, 7};
+    PersonalizedPageRank app(sources, 5, 10);
+    EXPECT_EQ(app.total_walkers(), 10u);
+    EXPECT_EQ(app.generate(0).location, 3u);
+    EXPECT_EQ(app.generate(4).location, 3u);
+    EXPECT_EQ(app.generate(5).location, 7u);
+    EXPECT_EQ(app.generate(9).location, 7u);
+}
+
+TEST(Ppr, StarGraphMassConcentratesOnHub)
+{
+    Fixture s(graph::generate_star(32));
+    PersonalizedPageRank app({1}, 500, 4, /*record_visits=*/true);
+    baselines::InMemoryEngine<PersonalizedPageRank> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    // From leaf 1 every odd step lands on the hub: hub mass ~1/2 and
+    // is the single largest.
+    const auto top = app.top_k(0, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].first, 0u);
+    EXPECT_NEAR(app.estimate(0, 0), 0.5, 0.05);
+}
+
+TEST(Ppr, EstimateZeroForUnvisited)
+{
+    Fixture s(graph::generate_cycle(64));
+    PersonalizedPageRank app({0}, 10, 3, true);
+    baselines::InMemoryEngine<PersonalizedPageRank> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    // On a directed cycle a 3-step walk from 0 visits only 1,2,3.
+    EXPECT_GT(app.estimate(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(app.estimate(0, 40), 0.0);
+}
+
+TEST(SimRank, IdenticalStartsMeetImmediately)
+{
+    Fixture s(graph::generate_cycle(16));
+    // Both sides start at the same vertex on a deterministic cycle:
+    // the paired walks coincide at every step, so the first meeting is
+    // step 1 and the estimate is decay^1.
+    SimRank app(4, 4, 100, 8, 0.6);
+    baselines::InMemoryEngine<SimRank> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_NEAR(app.estimate(), 0.6, 1e-9);
+}
+
+TEST(SimRank, DisconnectedPairNeverMeets)
+{
+    // Two disjoint cycles: 0..3 and 4..7.
+    std::vector<graph::Edge> edges;
+    for (graph::VertexId v = 0; v < 4; ++v) {
+        edges.push_back({v, (v + 1) % 4, 1.0f});
+        edges.push_back(
+            {static_cast<graph::VertexId>(4 + v),
+             static_cast<graph::VertexId>(4 + (v + 1) % 4), 1.0f});
+    }
+    Fixture s(graph::build_csr(edges));
+    SimRank app(0, 4, 50, 6, 0.6);
+    baselines::InMemoryEngine<SimRank> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_DOUBLE_EQ(app.estimate(), 0.0);
+}
+
+TEST(SimRank, AdjacentVerticesOnCycleMeetNever)
+{
+    // Deterministic cycle: walkers keep their initial offset forever.
+    Fixture s(graph::generate_cycle(8));
+    SimRank app(0, 1, 20, 8, 0.6);
+    baselines::InMemoryEngine<SimRank> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_DOUBLE_EQ(app.estimate(), 0.0);
+}
+
+TEST(Rwd, VisitCountsMatchWalkLengths)
+{
+    Fixture s(graph::generate_uniform(200, 6, 9));
+    RandomWalkDomination app(200, 6);
+    baselines::InMemoryEngine<RandomWalkDomination> eng(*s.file);
+    const auto stats = eng.run(app, app.total_walkers());
+    std::uint64_t total_visits = 0;
+    for (graph::VertexId v = 0; v < 200; ++v) {
+        total_visits += app.visits(v);
+    }
+    EXPECT_EQ(total_visits, stats.steps);
+    EXPECT_EQ(stats.steps, 200u * 6);
+}
+
+TEST(Rwd, HubDominatesOnStar)
+{
+    Fixture s(graph::generate_star(64));
+    RandomWalkDomination app(64, 6);
+    baselines::InMemoryEngine<RandomWalkDomination> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    const auto top = app.top_k(3);
+    ASSERT_GE(top.size(), 1u);
+    EXPECT_EQ(top[0].first, 0u); // the hub
+    EXPECT_GT(top[0].second, top.size() > 1 ? top[1].second : 0u);
+}
+
+TEST(Graphlet, CompleteGraphIsAllTriangles)
+{
+    Fixture s(graph::generate_complete(16));
+    GraphletConcentration app(16, 400);
+    baselines::InMemoryEngine<GraphletConcentration> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_DOUBLE_EQ(app.triangle_concentration(s.graph), 1.0);
+}
+
+TEST(Graphlet, CycleHasNoTriangles)
+{
+    Fixture s(graph::generate_cycle(64));
+    GraphletConcentration app(64, 200);
+    baselines::InMemoryEngine<GraphletConcentration> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_DOUBLE_EQ(app.triangle_concentration(s.graph), 0.0);
+}
+
+TEST(Graphlet, EstimateTracksGroundTruthOnMixedGraph)
+{
+    // Two triangles plus a long tail: concentration strictly between
+    // 0 and 1.
+    std::vector<graph::Edge> edges = {
+        {0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+        {3, 4, 1}, {4, 5, 1}, {5, 3, 1},
+        {6, 7, 1}, {7, 8, 1}, {8, 9, 1}, {9, 6, 1}};
+    graph::BuildOptions opt;
+    opt.symmetrize = true;
+    Fixture s(graph::build_csr(edges, opt));
+    GraphletConcentration app(10, 4000);
+    baselines::InMemoryEngine<GraphletConcentration> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    const double c = app.triangle_concentration(s.graph);
+    EXPECT_GT(c, 0.2);
+    EXPECT_LT(c, 0.9);
+}
+
+TEST(DeepWalk, SinkReceivesCompleteSequences)
+{
+    Fixture s(graph::generate_uniform(100, 5, 12));
+    std::uint64_t sequences = 0;
+    std::set<std::uint64_t> ids;
+    DeepWalk app(100, 2, 8,
+                 [&](std::uint64_t id,
+                     const std::vector<graph::VertexId> &seq) {
+                     ++sequences;
+                     ids.insert(id);
+                     ASSERT_EQ(seq.size(), 9u); // start + 8 steps
+                     EXPECT_LT(seq.front(), 100u);
+                 });
+    EXPECT_EQ(app.total_walkers(), 200u);
+    baselines::InMemoryEngine<DeepWalk> eng(*s.file);
+    eng.run(app, app.total_walkers());
+    EXPECT_EQ(sequences, 200u);
+    EXPECT_EQ(ids.size(), 200u);
+}
+
+TEST(DeepWalk, SequencesFollowEdges)
+{
+    Fixture s(graph::generate_uniform(64, 4, 13));
+    DeepWalk app(64, 1, 5,
+                 [&](std::uint64_t,
+                     const std::vector<graph::VertexId> &seq) {
+                     for (std::size_t i = 1; i < seq.size(); ++i) {
+                         ASSERT_TRUE(s.graph.has_edge(seq[i - 1], seq[i]));
+                     }
+                 });
+    baselines::InMemoryEngine<DeepWalk> eng(*s.file);
+    eng.run(app, app.total_walkers());
+}
+
+TEST(Apps, RunUnderNosWalkerEngineToo)
+{
+    Fixture s(graph::generate_uniform(300, 8, 14));
+    core::EngineConfig cfg = core::EngineConfig::full(0, 4096);
+    {
+        PersonalizedPageRank app({5}, 50, 6, true);
+        core::NosWalkerEngine<PersonalizedPageRank> eng(*s.file,
+                                                        *s.partition, cfg);
+        const auto stats = eng.run(app, app.total_walkers());
+        EXPECT_EQ(stats.walkers, 50u);
+    }
+    {
+        RandomWalkDomination app(300, 6);
+        core::NosWalkerEngine<RandomWalkDomination> eng(*s.file,
+                                                        *s.partition, cfg);
+        const auto stats = eng.run(app, app.total_walkers());
+        EXPECT_EQ(stats.steps, 300u * 6);
+    }
+    {
+        GraphletConcentration app(300, 30);
+        core::NosWalkerEngine<GraphletConcentration> eng(*s.file,
+                                                         *s.partition,
+                                                         cfg);
+        const auto stats = eng.run(app, app.total_walkers());
+        EXPECT_EQ(stats.walkers, 30u);
+    }
+}
+
+} // namespace
+} // namespace noswalker::apps

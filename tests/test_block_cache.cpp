@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the LRU block cache (the baselines' modeled page cache).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "storage/block_cache.hpp"
+#include "storage/mem_device.hpp"
+
+namespace noswalker::storage {
+namespace {
+
+class BlockCacheTest : public testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        graph_ = graph::generate_rmat({.scale = 9,
+                                       .edge_factor = 8,
+                                       .a = 0.57,
+                                       .b = 0.19,
+                                       .c = 0.19,
+                                       .seed = 12,
+                                       .symmetrize = false,
+                                       .weighted = false});
+        graph::GraphFile::write(graph_, device_);
+        file_ = std::make_unique<graph::GraphFile>(device_);
+        partition_ =
+            std::make_unique<graph::BlockPartition>(*file_, 2048);
+        reader_ = std::make_unique<BlockReader>(*file_, budget_);
+        ASSERT_GE(partition_->num_blocks(), 4u);
+    }
+
+    graph::CsrGraph graph_;
+    MemDevice device_{SsdModel::p4618()};
+    std::unique_ptr<graph::GraphFile> file_;
+    std::unique_ptr<graph::BlockPartition> partition_;
+    util::MemoryBudget budget_{0};
+    std::unique_ptr<BlockReader> reader_;
+    BlockBuffer scratch_;
+
+    /** Exact bytes blocks 0..n-1 occupy when cached. */
+    std::uint64_t
+    cached_bytes(std::uint32_t n)
+    {
+        BlockCache probe(~std::uint64_t{0} >> 1);
+        for (std::uint32_t b = 0; b < n; ++b) {
+            probe.get(*reader_, partition_->block(b), scratch_);
+        }
+        return probe.used_bytes();
+    }
+};
+
+TEST_F(BlockCacheTest, HitAvoidsDeviceTraffic)
+{
+    BlockCache cache(1 << 20);
+    const graph::BlockInfo &block = partition_->block(0);
+    cache.get(*reader_, block, scratch_);
+    const IoStats after_miss = device_.stats();
+    EXPECT_EQ(cache.misses(), 1u);
+
+    const BlockBuffer *buf = cache.get(*reader_, block, scratch_);
+    EXPECT_EQ(cache.hits(), 1u);
+    const IoStats after_hit = device_.stats();
+    EXPECT_EQ(after_hit.bytes_read, after_miss.bytes_read);
+    // The cached buffer still decodes correctly.
+    const graph::VertexId v = block.first_vertex;
+    EXPECT_EQ(buf->view(*file_, v).degree(), graph_.degree(v));
+}
+
+TEST_F(BlockCacheTest, EvictsLeastRecentlyUsed)
+{
+    // Capacity for exactly blocks 0 and 1 (measured, not estimated).
+    const std::uint64_t two_blocks = cached_bytes(2);
+    BlockCache cache(two_blocks);
+    cache.get(*reader_, partition_->block(0), scratch_);
+    cache.get(*reader_, partition_->block(1), scratch_);
+    cache.get(*reader_, partition_->block(2), scratch_); // evicts 0
+    EXPECT_LE(cache.used_bytes(), two_blocks);
+    cache.get(*reader_, partition_->block(2), scratch_);
+    EXPECT_EQ(cache.hits(), 1u); // block 2 still resident
+    const std::uint64_t misses_before = cache.misses();
+    cache.get(*reader_, partition_->block(0), scratch_); // reload
+    EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST_F(BlockCacheTest, OversizedBlockBypassesCache)
+{
+    BlockCache cache(16); // nothing fits
+    const BlockBuffer *buf =
+        cache.get(*reader_, partition_->block(0), scratch_);
+    EXPECT_EQ(buf, &scratch_);
+    EXPECT_EQ(cache.used_bytes(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(BlockCacheTest, RecencyOrderRespected)
+{
+    const std::uint64_t two_blocks =
+        2 * ((partition_->max_block_bytes() / 4096 + 2) * 4096);
+    BlockCache cache(two_blocks);
+    cache.get(*reader_, partition_->block(0), scratch_);
+    cache.get(*reader_, partition_->block(1), scratch_);
+    // Touch 0 so 1 becomes the LRU victim.
+    cache.get(*reader_, partition_->block(0), scratch_);
+    cache.get(*reader_, partition_->block(2), scratch_); // evicts 1
+    const std::uint64_t hits_before = cache.hits();
+    cache.get(*reader_, partition_->block(0), scratch_);
+    EXPECT_EQ(cache.hits(), hits_before + 1);
+}
+
+TEST_F(BlockCacheTest, ClearDropsEverything)
+{
+    BlockCache cache(1 << 20);
+    cache.get(*reader_, partition_->block(0), scratch_);
+    EXPECT_GT(cache.used_bytes(), 0u);
+    cache.clear();
+    EXPECT_EQ(cache.used_bytes(), 0u);
+    cache.get(*reader_, partition_->block(0), scratch_);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(BlockCacheTest, WholeGraphFitsAllHitsAfterFirstSweep)
+{
+    BlockCache cache(file_->file_bytes() + (1 << 20));
+    for (const graph::BlockInfo &b : partition_->blocks()) {
+        cache.get(*reader_, b, scratch_);
+    }
+    const std::uint64_t bytes_after_sweep = device_.stats().bytes_read;
+    for (const graph::BlockInfo &b : partition_->blocks()) {
+        cache.get(*reader_, b, scratch_);
+    }
+    EXPECT_EQ(device_.stats().bytes_read, bytes_after_sweep);
+    EXPECT_EQ(cache.hits(), partition_->num_blocks());
+}
+
+} // namespace
+} // namespace noswalker::storage

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR, builder, generators,
+ * dataset twins.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace noswalker::graph {
+namespace {
+
+TEST(CsrGraph, BasicAccessors)
+{
+    // 0 -> {1, 2}, 1 -> {2}, 2 -> {}
+    CsrGraph g({0, 2, 3, 3}, {1, 2, 2});
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_FALSE(g.weighted());
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 0u);
+    ASSERT_EQ(g.neighbors(0).size(), 2u);
+    EXPECT_EQ(g.neighbors(0)[0], 1u);
+    EXPECT_EQ(g.neighbors(1)[0], 2u);
+    EXPECT_TRUE(g.neighbors(2).empty());
+    EXPECT_EQ(g.csr_bytes(), 4 * 8 + 3 * 4u);
+    EXPECT_EQ(g.max_degree(), 2u);
+    EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(CsrGraph, WeightedAccessors)
+{
+    CsrGraph g({0, 2, 2}, {0, 1}, {0.5f, 1.5f});
+    EXPECT_TRUE(g.weighted());
+    ASSERT_EQ(g.weights(0).size(), 2u);
+    EXPECT_FLOAT_EQ(g.weights(0)[0], 0.5f);
+    EXPECT_TRUE(g.weights(1).empty());
+}
+
+TEST(CsrGraph, ValidateRejectsBadOffsets)
+{
+    EXPECT_THROW(CsrGraph({1, 2}, {0}), util::ConfigError);
+    EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}), util::ConfigError);
+    EXPECT_THROW(CsrGraph({0, 1}, {0, 0}), util::ConfigError);
+    EXPECT_THROW(CsrGraph({0, 1}, {5}), util::ConfigError); // target oob
+    EXPECT_THROW(CsrGraph({0, 1}, {0}, {1.0f, 2.0f}),
+                 util::ConfigError); // weights size mismatch
+}
+
+TEST(CsrGraph, HasEdgeSortedAndUnsorted)
+{
+    CsrGraph g({0, 3, 3}, {0, 1, 1});
+    g.set_sorted(true);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(1, 0));
+    g.set_sorted(false);
+    EXPECT_TRUE(g.has_edge(0, 0)); // linear scan path
+    EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Builder, SortsAndBuilds)
+{
+    std::vector<Edge> edges = {{2, 0, 1}, {0, 2, 1}, {0, 1, 1}, {1, 0, 1}};
+    CsrGraph g = build_csr(edges);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 4u);
+    ASSERT_EQ(g.neighbors(0).size(), 2u);
+    EXPECT_EQ(g.neighbors(0)[0], 1u); // sorted adjacency
+    EXPECT_EQ(g.neighbors(0)[1], 2u);
+    EXPECT_TRUE(g.sorted());
+}
+
+TEST(Builder, Dedup)
+{
+    std::vector<Edge> edges = {{0, 1, 1}, {0, 1, 2}, {0, 2, 1}};
+    BuildOptions opt;
+    opt.dedup = true;
+    CsrGraph g = build_csr(edges, opt);
+    EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, Symmetrize)
+{
+    std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}};
+    BuildOptions opt;
+    opt.symmetrize = true;
+    CsrGraph g = build_csr(edges, opt);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(Builder, RemoveSelfLoops)
+{
+    std::vector<Edge> edges = {{0, 0, 1}, {0, 1, 1}, {1, 1, 1}};
+    BuildOptions opt;
+    opt.remove_self_loops = true;
+    CsrGraph g = build_csr(edges, opt);
+    EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, ForcedVertexCountKeepsIsolated)
+{
+    std::vector<Edge> edges = {{0, 1, 1}};
+    BuildOptions opt;
+    opt.num_vertices = 10;
+    CsrGraph g = build_csr(edges, opt);
+    EXPECT_EQ(g.num_vertices(), 10u);
+    EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(Builder, WeightedPreservesWeights)
+{
+    std::vector<Edge> edges = {{0, 2, 2.5f}, {0, 1, 1.5f}};
+    CsrGraph g = build_csr(edges, {}, true);
+    ASSERT_TRUE(g.weighted());
+    // Sorted by destination: (0,1,1.5) then (0,2,2.5).
+    EXPECT_FLOAT_EQ(g.weights(0)[0], 1.5f);
+    EXPECT_FLOAT_EQ(g.weights(0)[1], 2.5f);
+}
+
+TEST(Builder, IncrementalInterface)
+{
+    GraphBuilder b;
+    b.reserve(3);
+    b.add_edge(0, 1);
+    b.add_edges({{1, 2, 1.0f}, {2, 0, 1.0f}});
+    EXPECT_EQ(b.size(), 3u);
+    CsrGraph g = b.build();
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(b.size(), 0u); // builder drained
+}
+
+TEST(Generators, RmatSizesAndDeterminism)
+{
+    RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 8;
+    p.seed = 99;
+    CsrGraph a = generate_rmat(p);
+    CsrGraph b = generate_rmat(p);
+    EXPECT_EQ(a.num_vertices(), 1024u);
+    EXPECT_EQ(a.num_edges(), 8192u);
+    EXPECT_EQ(a.targets(), b.targets());
+    p.seed = 100;
+    CsrGraph c = generate_rmat(p);
+    EXPECT_NE(a.targets(), c.targets());
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    RmatParams p;
+    p.scale = 12;
+    p.edge_factor = 16;
+    CsrGraph g = generate_rmat(p);
+    // Power-law-ish: max degree far above the mean.
+    EXPECT_GT(g.max_degree(), 8 * g.average_degree());
+}
+
+TEST(Generators, RmatWeighted)
+{
+    RmatParams p;
+    p.scale = 8;
+    p.edge_factor = 4;
+    p.weighted = true;
+    CsrGraph g = generate_rmat(p);
+    ASSERT_TRUE(g.weighted());
+    for (float w : g.all_weights()) {
+        EXPECT_GT(w, 0.0f);
+        EXPECT_LE(w, 1.001f);
+    }
+}
+
+TEST(Generators, RmatSymmetrized)
+{
+    RmatParams p;
+    p.scale = 8;
+    p.edge_factor = 4;
+    p.symmetrize = true;
+    CsrGraph g = generate_rmat(p);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (VertexId v : g.neighbors(u)) {
+            if (u != v) {
+                ASSERT_TRUE(g.has_edge(v, u))
+                    << u << "->" << v << " missing reverse";
+            }
+        }
+    }
+}
+
+TEST(Generators, RmatRejectsBadQuadrants)
+{
+    RmatParams p;
+    p.a = 0.5;
+    p.b = 0.3;
+    p.c = 0.3;
+    EXPECT_THROW(generate_rmat(p), util::ConfigError);
+}
+
+TEST(Generators, PowerLawDegreeRangeRespected)
+{
+    CsrGraph g = generate_power_law(2000, 2.7, 2, 64, 5);
+    EXPECT_EQ(g.num_vertices(), 2000u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_GE(g.degree(v), 2u);
+        EXPECT_LE(g.degree(v), 64u);
+    }
+}
+
+TEST(Generators, PowerLawIsFlatterThanRmat)
+{
+    // α=2.7 should have a lower mean degree than the min-degree-heavy
+    // tail would suggest: most mass at min_degree.
+    CsrGraph g = generate_power_law(5000, 2.7, 1, 128, 6);
+    std::uint64_t deg1 = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (g.degree(v) == 1) {
+            ++deg1;
+        }
+    }
+    // With α=2.7 over [1,128], P(deg=1) ≈ 0.82.
+    EXPECT_GT(deg1, g.num_vertices() / 2);
+}
+
+TEST(Generators, PowerLawRejectsBadRange)
+{
+    EXPECT_THROW(generate_power_law(10, 2.0, 0, 4, 1),
+                 util::ConfigError);
+    EXPECT_THROW(generate_power_law(10, 2.0, 5, 4, 1),
+                 util::ConfigError);
+}
+
+TEST(Generators, UniformExactDegree)
+{
+    CsrGraph g = generate_uniform(500, 12, 3);
+    EXPECT_EQ(g.num_edges(), 500u * 12u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(g.degree(v), 12u);
+        for (VertexId t : g.neighbors(v)) {
+            EXPECT_NE(t, v); // no self loops
+        }
+    }
+}
+
+TEST(Generators, ErdosRenyiEdgeCount)
+{
+    CsrGraph g = generate_erdos_renyi(100, 1234, 8);
+    EXPECT_EQ(g.num_vertices(), 100u);
+    EXPECT_EQ(g.num_edges(), 1234u);
+}
+
+TEST(Generators, CycleStructure)
+{
+    CsrGraph g = generate_cycle(5);
+    for (VertexId v = 0; v < 5; ++v) {
+        ASSERT_EQ(g.degree(v), 1u);
+        EXPECT_EQ(g.neighbors(v)[0], (v + 1) % 5);
+    }
+}
+
+TEST(Generators, CompleteStructure)
+{
+    CsrGraph g = generate_complete(5);
+    EXPECT_EQ(g.num_edges(), 20u);
+    for (VertexId v = 0; v < 5; ++v) {
+        EXPECT_EQ(g.degree(v), 4u);
+        EXPECT_FALSE(g.has_edge(v, v));
+    }
+}
+
+TEST(Generators, StarStructure)
+{
+    CsrGraph g = generate_star(6);
+    EXPECT_EQ(g.degree(0), 5u);
+    for (VertexId v = 1; v < 6; ++v) {
+        ASSERT_EQ(g.degree(v), 1u);
+        EXPECT_EQ(g.neighbors(v)[0], 0u);
+    }
+}
+
+TEST(Generators, PaperToyMatchesFigure3)
+{
+    CsrGraph g = generate_paper_toy();
+    EXPECT_EQ(g.num_vertices(), 7u);
+    EXPECT_EQ(g.degree(0), 6u); // v0's six-edge fanout from the example
+    EXPECT_TRUE(g.has_edge(0, 2));
+    EXPECT_TRUE(g.has_edge(2, 6));
+}
+
+TEST(Datasets, AllTwinsBuildAndMatchProfiles)
+{
+    for (const DatasetSpec &spec : all_datasets()) {
+        const CsrGraph g = build_dataset(spec.id, 8);
+        EXPECT_GT(g.num_vertices(), 0u) << spec.name;
+        EXPECT_GT(g.num_edges(), 0u) << spec.name;
+        EXPECT_EQ(g.weighted(), spec.weighted) << spec.name;
+    }
+}
+
+TEST(Datasets, SizeOrderingMatchesTable1)
+{
+    const auto k30 = build_dataset(DatasetId::kKron30, 8);
+    const auto k31 = build_dataset(DatasetId::kKron31, 8);
+    const auto cw = build_dataset(DatasetId::kCrawlWeb, 8);
+    EXPECT_LT(k30.num_edges(), k31.num_edges());
+    EXPECT_LT(k31.num_edges(), cw.num_edges());
+    const auto g12 = build_dataset(DatasetId::kG12, 8);
+    const auto a27 = build_dataset(DatasetId::kAlpha27, 8);
+    // Flat graphs: more vertices than K30', lower skew.
+    EXPECT_GT(g12.num_vertices(), k30.num_vertices());
+    EXPECT_GT(a27.num_vertices(), k30.num_vertices());
+    EXPECT_LT(g12.max_degree(), k30.max_degree());
+}
+
+TEST(Datasets, SpecLookup)
+{
+    EXPECT_EQ(dataset_spec(DatasetId::kKron30W).weighted, true);
+    EXPECT_EQ(dataset_spec(DatasetId::kTwitter).name, "TW'");
+}
+
+} // namespace
+} // namespace noswalker::graph

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end integration: real files on disk, full pipelines, and
+ * shape checks that mirror the paper's headline claims at test scale.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/basic_rw.hpp"
+#include "apps/node2vec.hpp"
+#include "apps/ppr.hpp"
+#include "apps/weighted_rw.hpp"
+#include "baselines/drunkardmob.hpp"
+#include "baselines/graphwalker.hpp"
+#include "baselines/grasorw.hpp"
+#include "core/noswalker_engine.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "recording_app.hpp"
+#include "storage/file_device.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/raid_device.hpp"
+
+namespace noswalker {
+namespace {
+
+TEST(Integration, FullPipelineOnRealFile)
+{
+    const std::string path =
+        testing::TempDir() + "noswalker_integration.graph";
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kKron30, 10);
+    {
+        storage::FileDevice dev(path);
+        graph::GraphFile::write(g, dev);
+        dev.sync();
+    }
+    storage::FileDevice dev(path);
+    graph::GraphFile file(dev);
+    EXPECT_EQ(file.num_vertices(), g.num_vertices());
+    graph::BlockPartition part(file, 8192);
+    apps::BasicRandomWalk app(10, file.num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(
+        testing_support::tight_budget(file, part, 0.35), 8192);
+    core::NosWalkerEngine<apps::BasicRandomWalk> eng(file, part, cfg);
+    const auto stats = eng.run(app, 1000);
+    EXPECT_EQ(stats.walkers, 1000u);
+    EXPECT_GT(stats.steps, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Integration, Fig2ShapeEdgesPerStepOrdering)
+{
+    // The paper's Fig 2(a): DrunkardMob needs more loaded edges per
+    // step than GraphWalker, which needs more than NosWalker.
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kKron30, 11);
+    storage::MemDevice dev;
+    graph::GraphFile::write(g, dev);
+    graph::GraphFile file(dev);
+    graph::BlockPartition part(file, 16384);
+    const std::uint64_t budget =
+        testing_support::tight_budget(file, part, 0.2);
+
+    apps::BasicRandomWalk a1(10, file.num_vertices());
+    apps::BasicRandomWalk a2(10, file.num_vertices());
+    apps::BasicRandomWalk a3(10, file.num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(budget, 16384);
+    core::NosWalkerEngine<apps::BasicRandomWalk> nw(file, part, cfg);
+    baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(file, part,
+                                                           budget);
+    // Same budget for all systems (the paper's setup); with an
+    // unlimited budget DrunkardMob would just cache the whole graph.
+    baselines::DrunkardMobEngine<apps::BasicRandomWalk> dm(file, part,
+                                                           budget);
+
+    const auto sn = nw.run(a1, 600);
+    const auto sg = gw.run(a2, 600);
+    const auto sd = dm.run(a3, 600);
+    EXPECT_LT(sn.edges_per_step(), sg.edges_per_step());
+    EXPECT_LT(sg.edges_per_step(), sd.edges_per_step());
+}
+
+TEST(Integration, NosWalkerTotalIoBelowGraphWalker)
+{
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kKron30, 11);
+    storage::MemDevice dev;
+    graph::GraphFile::write(g, dev);
+    graph::GraphFile file(dev);
+    graph::BlockPartition part(file, 16384);
+    const std::uint64_t budget =
+        testing_support::tight_budget(file, part, 0.2);
+
+    apps::BasicRandomWalk a1(10, file.num_vertices());
+    apps::BasicRandomWalk a2(10, file.num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(budget, 16384);
+    core::NosWalkerEngine<apps::BasicRandomWalk> nw(file, part, cfg);
+    baselines::GraphWalkerEngine<apps::BasicRandomWalk> gw(file, part,
+                                                           budget);
+    const auto sn = nw.run(a1, 2000);
+    const auto sg = gw.run(a2, 2000);
+    EXPECT_LT(sn.total_io_bytes(), sg.total_io_bytes());
+    EXPECT_LT(sn.modeled_seconds(), sg.modeled_seconds());
+}
+
+TEST(Integration, SecondOrderNosWalkerBeatsGraSorwOnIo)
+{
+    graph::RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 16;
+    p.seed = 90;
+    p.symmetrize = true; // Node2Vec needs an undirected graph
+    const graph::CsrGraph g = graph::generate_rmat(p);
+    storage::MemDevice dev;
+    graph::GraphFile::write(g, dev);
+    graph::GraphFile file(dev);
+    graph::BlockPartition part(file, 16384);
+    const std::uint64_t budget =
+        testing_support::tight_budget(file, part, 0.25);
+
+    apps::Node2Vec a1(2.0, 0.5, 6, file.num_vertices(), 1);
+    apps::Node2Vec a2(2.0, 0.5, 6, file.num_vertices(), 1);
+    core::EngineConfig cfg = core::EngineConfig::full(budget, 16384);
+    core::NosWalkerEngine<apps::Node2Vec> nw(file, part, cfg);
+    baselines::GraSorwEngine<apps::Node2Vec> gs(file, part, 0);
+    const auto sn = nw.run(a1, 500);
+    const auto sg = gs.run(a2, 500);
+    EXPECT_EQ(sn.walkers, sg.walkers);
+    EXPECT_LT(sn.graph_bytes_read, sg.graph_bytes_read);
+}
+
+TEST(Integration, RaidDeviceEndToEnd)
+{
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kKron30, 9);
+    auto raid = storage::Raid0Device::paper_array();
+    graph::GraphFile::write(g, *raid);
+    graph::GraphFile file(*raid);
+    graph::BlockPartition part(file, 8192);
+    apps::BasicRandomWalk app(10, file.num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(0, 8192);
+    core::NosWalkerEngine<apps::BasicRandomWalk> eng(file, part, cfg);
+    const auto stats = eng.run(app, 300);
+    EXPECT_EQ(stats.walkers, 300u);
+    EXPECT_GT(raid->stats().bytes_read, 0u);
+}
+
+TEST(Integration, WeightedAliasPipelineEndToEnd)
+{
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kKron30W, 9);
+    storage::MemDevice dev;
+    graph::GraphFile::write(g, dev, /*with_alias=*/true);
+    graph::GraphFile file(dev);
+    // Alias tables inflate the file ~4x vs unweighted (K30W effect).
+    storage::MemDevice plain_dev;
+    const graph::CsrGraph plain =
+        graph::build_dataset(graph::DatasetId::kKron30, 9);
+    graph::GraphFile::write(plain, plain_dev);
+    graph::GraphFile plain_file(plain_dev);
+    EXPECT_EQ(file.edge_region_bytes(),
+              4 * plain_file.edge_region_bytes());
+
+    graph::BlockPartition part(file, 16384);
+    apps::WeightedRandomWalk app(10, file.num_vertices());
+    core::EngineConfig cfg = core::EngineConfig::full(
+        testing_support::tight_budget(file, part, 0.3), 16384);
+    core::NosWalkerEngine<apps::WeightedRandomWalk> eng(file, part, cfg);
+    const auto stats = eng.run(app, 400);
+    EXPECT_EQ(stats.walkers, 400u);
+}
+
+TEST(Integration, PprQueryPipelineProducesRanking)
+{
+    const graph::CsrGraph g =
+        graph::build_dataset(graph::DatasetId::kTwitter, 10);
+    storage::MemDevice dev;
+    graph::GraphFile::write(g, dev);
+    graph::GraphFile file(dev);
+    graph::BlockPartition part(file, 8192);
+
+    // Query the highest-degree vertex (likely well connected).
+    graph::VertexId source = 0;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (g.degree(v) > g.degree(source)) {
+            source = v;
+        }
+    }
+    apps::PersonalizedPageRank app({source}, 200, 10, true);
+    core::EngineConfig cfg = core::EngineConfig::full(
+        testing_support::tight_budget(file, part, 0.35), 8192);
+    core::NosWalkerEngine<apps::PersonalizedPageRank> eng(file, part,
+                                                          cfg);
+    eng.run(app, app.total_walkers());
+    const auto top = app.top_k(0, 10);
+    ASSERT_FALSE(top.empty());
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].second, top[i].second);
+    }
+}
+
+} // namespace
+} // namespace noswalker

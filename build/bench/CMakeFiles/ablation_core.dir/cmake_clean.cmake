@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core.dir/ablation_core.cpp.o"
+  "CMakeFiles/ablation_core.dir/ablation_core.cpp.o.d"
+  "ablation_core"
+  "ablation_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

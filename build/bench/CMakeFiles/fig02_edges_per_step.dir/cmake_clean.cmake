@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_edges_per_step.dir/fig02_edges_per_step.cpp.o"
+  "CMakeFiles/fig02_edges_per_step.dir/fig02_edges_per_step.cpp.o.d"
+  "fig02_edges_per_step"
+  "fig02_edges_per_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_edges_per_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_edges_per_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_longtail.dir/fig04_longtail.cpp.o"
+  "CMakeFiles/fig04_longtail.dir/fig04_longtail.cpp.o.d"
+  "fig04_longtail"
+  "fig04_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_applications.dir/fig09_applications.cpp.o"
+  "CMakeFiles/fig09_applications.dir/fig09_applications.cpp.o.d"
+  "fig09_applications"
+  "fig09_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_num_walkers.dir/fig10_num_walkers.cpp.o"
+  "CMakeFiles/fig10_num_walkers.dir/fig10_num_walkers.cpp.o.d"
+  "fig10_num_walkers"
+  "fig10_num_walkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_num_walkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_walk_length.dir/fig11_walk_length.cpp.o"
+  "CMakeFiles/fig11_walk_length.dir/fig11_walk_length.cpp.o.d"
+  "fig11_walk_length"
+  "fig11_walk_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_walk_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

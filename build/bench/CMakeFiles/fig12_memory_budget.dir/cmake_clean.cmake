@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memory_budget.dir/fig12_memory_budget.cpp.o"
+  "CMakeFiles/fig12_memory_budget.dir/fig12_memory_budget.cpp.o.d"
+  "fig12_memory_budget"
+  "fig12_memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_node2vec.dir/fig15_node2vec.cpp.o"
+  "CMakeFiles/fig15_node2vec.dir/fig15_node2vec.cpp.o.d"
+  "fig15_node2vec"
+  "fig15_node2vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_node2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_graphene.dir/fig16_graphene.cpp.o"
+  "CMakeFiles/fig16_graphene.dir/fig16_graphene.cpp.o.d"
+  "fig16_graphene"
+  "fig16_graphene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_inmemory.dir/fig17_inmemory.cpp.o"
+  "CMakeFiles/fig17_inmemory.dir/fig17_inmemory.cpp.o.d"
+  "fig17_inmemory"
+  "fig17_inmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

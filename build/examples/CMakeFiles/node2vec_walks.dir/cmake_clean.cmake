@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node2vec_walks.dir/node2vec_walks.cpp.o"
+  "CMakeFiles/node2vec_walks.dir/node2vec_walks.cpp.o.d"
+  "node2vec_walks"
+  "node2vec_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node2vec_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_topk.dir/ppr_topk.cpp.o"
+  "CMakeFiles/ppr_topk.dir/ppr_topk.cpp.o.d"
+  "ppr_topk"
+  "ppr_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

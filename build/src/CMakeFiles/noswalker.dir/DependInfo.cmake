@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/knightking_model.cpp" "src/CMakeFiles/noswalker.dir/baselines/knightking_model.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/baselines/knightking_model.cpp.o.d"
+  "/root/repo/src/core/block_scheduler.cpp" "src/CMakeFiles/noswalker.dir/core/block_scheduler.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/core/block_scheduler.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/noswalker.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/presample_buffer.cpp" "src/CMakeFiles/noswalker.dir/core/presample_buffer.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/core/presample_buffer.cpp.o.d"
+  "/root/repo/src/engine/run_stats.cpp" "src/CMakeFiles/noswalker.dir/engine/run_stats.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/engine/run_stats.cpp.o.d"
+  "/root/repo/src/engine/walker_spill.cpp" "src/CMakeFiles/noswalker.dir/engine/walker_spill.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/engine/walker_spill.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/noswalker.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/noswalker.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/noswalker.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/edge_list_io.cpp" "src/CMakeFiles/noswalker.dir/graph/edge_list_io.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/edge_list_io.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/noswalker.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_file.cpp" "src/CMakeFiles/noswalker.dir/graph/graph_file.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/graph_file.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/noswalker.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/graph/partition.cpp.o.d"
+  "/root/repo/src/storage/async_loader.cpp" "src/CMakeFiles/noswalker.dir/storage/async_loader.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/async_loader.cpp.o.d"
+  "/root/repo/src/storage/block_cache.cpp" "src/CMakeFiles/noswalker.dir/storage/block_cache.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/block_cache.cpp.o.d"
+  "/root/repo/src/storage/block_reader.cpp" "src/CMakeFiles/noswalker.dir/storage/block_reader.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/block_reader.cpp.o.d"
+  "/root/repo/src/storage/file_device.cpp" "src/CMakeFiles/noswalker.dir/storage/file_device.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/file_device.cpp.o.d"
+  "/root/repo/src/storage/io_device.cpp" "src/CMakeFiles/noswalker.dir/storage/io_device.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/io_device.cpp.o.d"
+  "/root/repo/src/storage/mem_device.cpp" "src/CMakeFiles/noswalker.dir/storage/mem_device.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/mem_device.cpp.o.d"
+  "/root/repo/src/storage/raid_device.cpp" "src/CMakeFiles/noswalker.dir/storage/raid_device.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/raid_device.cpp.o.d"
+  "/root/repo/src/storage/ssd_model.cpp" "src/CMakeFiles/noswalker.dir/storage/ssd_model.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/storage/ssd_model.cpp.o.d"
+  "/root/repo/src/util/alias_table.cpp" "src/CMakeFiles/noswalker.dir/util/alias_table.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/util/alias_table.cpp.o.d"
+  "/root/repo/src/util/bitmap.cpp" "src/CMakeFiles/noswalker.dir/util/bitmap.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/util/bitmap.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/noswalker.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/memory_budget.cpp" "src/CMakeFiles/noswalker.dir/util/memory_budget.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/util/memory_budget.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/noswalker.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/noswalker.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

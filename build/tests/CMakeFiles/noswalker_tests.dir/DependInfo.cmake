@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_block_cache.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_block_cache.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_block_cache.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_file.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_graph_file.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_graph_file.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_presample.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_presample.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_presample.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_scheduler_pool.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_scheduler_pool.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_scheduler_pool.cpp.o.d"
+  "/root/repo/tests/test_second_order.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_second_order.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_second_order.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/noswalker_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/noswalker_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/noswalker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noswalker_tests.dir/test_apps.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_apps.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_block_cache.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_block_cache.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_engine.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_engine.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_graph.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_graph.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_graph_file.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_graph_file.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_presample.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_presample.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_scheduler_pool.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_scheduler_pool.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_second_order.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_second_order.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_storage.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_storage.cpp.o.d"
+  "CMakeFiles/noswalker_tests.dir/test_util.cpp.o"
+  "CMakeFiles/noswalker_tests.dir/test_util.cpp.o.d"
+  "noswalker_tests"
+  "noswalker_tests.pdb"
+  "noswalker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noswalker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

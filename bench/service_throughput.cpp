@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Walk service throughput/latency sweep (the serving-layer companion
+ * to the engine figures): a closed-loop client fires a fixed pool of
+ * walk requests at a WalkService over the K30' twin and reports
+ * requests/second plus p50/p99 modeled latency across worker counts
+ * and coalescing batch sizes.
+ *
+ * Modeled latency = queue wait (measured) + the modeled run time of
+ * the coalesced batch serving the request (SSD cost model + measured
+ * CPU, DESIGN.md §2) — the same policy the engine benches use, so the
+ * absolute numbers are comparable to the per-figure results.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/walk_service.hpp"
+#include "util/timer.hpp"
+
+namespace noswalker::bench {
+namespace {
+
+/** The closed-loop request pool: a mixed endpoint/path/top-k workload. */
+std::vector<service::WalkRequest>
+make_workload(const GraphHandle &handle, std::size_t count)
+{
+    const graph::VertexId v = handle.file->num_vertices();
+    std::vector<service::WalkRequest> requests;
+    requests.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        service::WalkRequest r;
+        r.seed = 10'000 + i;
+        r.tenant = i % 4;
+        r.length = 8 + static_cast<std::uint32_t>(i % 9);
+        switch (i % 3) {
+        case 0:
+            r.kind = service::WalkKind::kEndpoints;
+            r.starts = {static_cast<graph::VertexId>((17 * i + 1) % v),
+                        static_cast<graph::VertexId>((31 * i + 5) % v)};
+            r.walks_per_start = 8;
+            break;
+        case 1:
+            r.kind = service::WalkKind::kPaths;
+            r.starts = {static_cast<graph::VertexId>((13 * i + 3) % v)};
+            r.walks_per_start = 4;
+            break;
+        default:
+            r.kind = service::WalkKind::kVisitCounts;
+            r.starts = {static_cast<graph::VertexId>((7 * i + 11) % v)};
+            r.walks_per_start = 16;
+            r.top_k = 16;
+            break;
+        }
+        requests.push_back(std::move(r));
+    }
+    return requests;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct SweepPoint {
+    unsigned workers;
+    std::size_t max_batch;
+    double wall_seconds = 0.0;
+    double requests_per_second = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t batches = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t steps = 0;
+};
+
+SweepPoint
+run_point(BenchEnv &env, GraphHandle &handle, unsigned workers,
+          std::size_t max_batch,
+          const std::vector<service::WalkRequest> &workload)
+{
+    service::ServiceConfig cfg;
+    cfg.num_workers = workers;
+    cfg.max_batch = max_batch;
+    cfg.batch_window_seconds = max_batch > 1 ? 0.001 : 0.0;
+    cfg.memory_budget =
+        env.budget_for(handle) * workers + (16ULL << 20);
+    cfg.cache_bytes = cfg.memory_budget / 4;
+    cfg.block_bytes = handle.partition->max_block_bytes();
+
+    SweepPoint point;
+    point.workers = workers;
+    point.max_batch = max_batch;
+
+    service::WalkService svc(*handle.file, *handle.partition, cfg);
+    util::Timer wall;
+    std::vector<service::WalkTicket> tickets;
+    tickets.reserve(workload.size());
+    for (const service::WalkRequest &request : workload) {
+        tickets.push_back(svc.submit(request));
+    }
+    std::vector<double> latencies;
+    latencies.reserve(tickets.size());
+    std::uint64_t ok = 0;
+    for (service::WalkTicket &ticket : tickets) {
+        service::WalkResult result = ticket.get();
+        if (result.ok()) {
+            ++ok;
+            latencies.push_back(result.modeled_latency_seconds);
+            point.steps += result.stats.steps;
+        }
+    }
+    point.wall_seconds = wall.seconds();
+    point.requests_per_second =
+        static_cast<double>(ok) / point.wall_seconds;
+    point.p50 = percentile(latencies, 0.50);
+    point.p99 = percentile(latencies, 0.99);
+    const auto counters = svc.counters();
+    point.batches = counters.batches;
+    point.cache_hits = counters.cache_hits;
+    return point;
+}
+
+} // namespace
+} // namespace noswalker::bench
+
+int
+main()
+{
+    using namespace noswalker;
+    using namespace noswalker::bench;
+
+    BenchEnv env;
+    GraphHandle &handle = env.get(graph::DatasetId::kKron30);
+    std::printf("walk service throughput on %s (scale %u): "
+                "%llu vertices, %llu edges\n\n",
+                handle.spec.name.c_str(), env.scale(),
+                static_cast<unsigned long long>(
+                    handle.file->num_vertices()),
+                static_cast<unsigned long long>(
+                    handle.reference.num_edges()));
+
+    const std::size_t kRequests = 96;
+    const auto workload = make_workload(handle, kRequests);
+
+    print_table_header(
+        "Closed-loop sweep (" + std::to_string(kRequests) + " requests)",
+        {"workers", "max_batch", "req/s", "p50 lat(s)", "p99 lat(s)",
+         "batches", "cache hits", "steps"});
+    for (const unsigned workers : {1u, 2u, 4u}) {
+        for (const std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
+            const SweepPoint p =
+                run_point(env, handle, workers, max_batch, workload);
+            print_table_row({std::to_string(p.workers),
+                             std::to_string(p.max_batch),
+                             fmt_double(p.requests_per_second, 1),
+                             fmt_double(p.p50, 4), fmt_double(p.p99, 4),
+                             fmt_count(p.batches),
+                             fmt_count(p.cache_hits),
+                             fmt_count(p.steps)});
+        }
+    }
+    std::printf("\nbatching trades per-request latency for shared block "
+                "loads; extra workers raise throughput until the shared "
+                "budget (or the device) saturates.\n");
+    return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then a
+# ThreadSanitizer pass over the concurrent service/queue code.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: ThreadSanitizer (service + blocking queue) =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$JOBS" --target noswalker_tests
+ctest --test-dir build-tsan -R 'Service|BlockingQueue' --output-on-failure
+
+echo
+echo "tier 1 passed"

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "storage/async_loader.hpp"
 #include "storage/block_reader.hpp"
 #include "storage/mem_device.hpp"
+#include "storage/shared_block_cache.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/memory_budget.hpp"
@@ -60,6 +62,7 @@ class NosWalkerEngine {
   public:
     using WalkerT = typename App::WalkerT;
     static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
+    static constexpr bool kWalkerAware = engine::kIsWalkerAware<App>;
 
     /**
      * @param file  the on-disk graph.
@@ -72,6 +75,37 @@ class NosWalkerEngine {
         : file_(&file), partition_(&partition), config_(config)
     {
         config_.validate();
+        if constexpr (kWalkerAware) {
+            // Shared pre-samples would inject run-wide randomness into
+            // per-walker streams; walker-aware apps forgo them.
+            config_.presample = false;
+        }
+    }
+
+    /**
+     * Attach a budget shared with other engines (the walk service's
+     * admission-control pool).  When set, run() reserves from it
+     * instead of a run-local budget, and per-run I/O counters are
+     * accumulated locally instead of from shared device deltas.
+     * Pass nullptr to detach.
+     */
+    void set_shared_budget(util::MemoryBudget *budget)
+    {
+        shared_budget_ = budget;
+    }
+
+    /** Serve coarse loads through a cache shared with other engines. */
+    void set_shared_cache(storage::SharedBlockCache *cache)
+    {
+        shared_cache_ = cache;
+    }
+
+    /** run() with a per-run seed (per-batch walker injection). */
+    engine::RunStats
+    run(App &app, std::uint64_t total_walkers, std::uint64_t seed)
+    {
+        seed_override_ = seed;
+        return run(app, total_walkers);
     }
 
     /**
@@ -85,10 +119,14 @@ class NosWalkerEngine {
         util::Timer wall;
         reset(total_walkers);
         app_ = &app;
-        util::MemoryBudget budget(config_.memory_budget);
+        util::MemoryBudget local_budget(
+            shared_budget_ != nullptr ? 0 : config_.memory_budget);
+        util::MemoryBudget &budget =
+            shared_budget_ != nullptr ? *shared_budget_ : local_budget;
         setup(budget, total_walkers);
 
-        storage::BlockReader reader(*file_, unbudgeted_);
+        storage::BlockReader reader(*file_, unbudgeted_, 8ULL << 20,
+                                    shared_cache_);
         storage::AsyncLoader loader(
             reader, config_.loader_threads > 0 && !single_buffer_);
         const storage::IoStats io_before = file_->device().stats();
@@ -156,7 +194,8 @@ class NosWalkerEngine {
         stats_.engine = "NosWalker";
         stats_.pipelined = true; // set false later in single-buffer mode
         stats_.io_efficiency = kAsyncIoEfficiency;
-        rng_ = util::Rng(config_.seed);
+        rng_ = util::Rng(seed_override_.value_or(config_.seed));
+        seed_override_.reset();
         total_ = total;
         generated_ = 0;
         buffers_.clear();
@@ -165,6 +204,9 @@ class NosWalkerEngine {
         spill_.reset();
         swap_device_.reset();
         presample_bytes_used_ = 0;
+        local_io_bytes_ = 0;
+        local_io_requests_ = 0;
+        local_io_seconds_ = 0.0;
     }
 
     /** Reserve the fixed memory regions and create the components. */
@@ -300,6 +342,12 @@ class NosWalkerEngine {
         } else {
             ++stats_.blocks_loaded;
         }
+        if (response.result.from_cache) {
+            ++stats_.cache_hit_blocks;
+        }
+        local_io_bytes_ += response.result.bytes_read;
+        local_io_requests_ += response.result.requests;
+        local_io_seconds_ += response.result.modeled_seconds;
     }
 
     /** Bucket view without draining it (fine-mode needed lists). */
@@ -549,7 +597,12 @@ class NosWalkerEngine {
             return false;
         }
         const graph::VertexView view = buf->view(*file_, v);
-        const graph::VertexId next = app.sample(view, rng_);
+        graph::VertexId next;
+        if constexpr (kWalkerAware) {
+            next = app.sample_for(w, view);
+        } else {
+            next = app.sample(view, rng_);
+        }
         app.action(w, next, rng_);
         ++stats_.block_steps;
         count_step();
@@ -560,6 +613,12 @@ class NosWalkerEngine {
     bool
     move_via_presamples(App &app, WalkerT &w, graph::VertexId v)
     {
+        if constexpr (kWalkerAware) {
+            // Never reached (the constructor forces presample off), but
+            // guard anyway: shared samples would break per-walker
+            // determinism.
+            return false;
+        }
         PreSampleBuffer *ps = find_presamples(partition_->block_of(v));
         if (ps == nullptr) {
             return false;
@@ -636,13 +695,24 @@ class NosWalkerEngine {
     finalize(util::MemoryBudget &budget, const storage::IoStats &before,
              double cpu_seconds)
     {
-        const storage::IoStats after = file_->device().stats();
-        stats_.graph_bytes_read = after.bytes_read - before.bytes_read;
-        stats_.graph_read_requests =
-            after.read_requests - before.read_requests;
+        if (shared_budget_ != nullptr || shared_cache_ != nullptr) {
+            // Device counters are shared with concurrent engines (and
+            // cache hits never reach the device), so attribute I/O
+            // from this run's own load results.
+            stats_.graph_bytes_read = local_io_bytes_;
+            stats_.graph_read_requests = local_io_requests_;
+            stats_.io_busy_seconds = local_io_seconds_;
+        } else {
+            const storage::IoStats after = file_->device().stats();
+            stats_.graph_bytes_read =
+                after.bytes_read - before.bytes_read;
+            stats_.graph_read_requests =
+                after.read_requests - before.read_requests;
+            stats_.io_busy_seconds =
+                after.busy_seconds - before.busy_seconds;
+        }
         stats_.edges_loaded =
             stats_.graph_bytes_read / file_->record_bytes();
-        stats_.io_busy_seconds = after.busy_seconds - before.busy_seconds;
         if (spill_) {
             stats_.swap_bytes = spill_->swap_bytes();
             stats_.io_busy_seconds +=
@@ -665,6 +735,13 @@ class NosWalkerEngine {
     engine::RunStats stats_;
     std::uint64_t total_ = 0;
     std::uint64_t generated_ = 0;
+    std::optional<std::uint64_t> seed_override_;
+
+    util::MemoryBudget *shared_budget_ = nullptr;
+    storage::SharedBlockCache *shared_cache_ = nullptr;
+    std::uint64_t local_io_bytes_ = 0;
+    std::uint64_t local_io_requests_ = 0;
+    double local_io_seconds_ = 0.0;
 
     util::MemoryBudget *budget_ = nullptr;
     util::MemoryBudget unbudgeted_{0};

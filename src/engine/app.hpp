@@ -69,6 +69,30 @@ template <typename A>
 inline constexpr bool kIsSecondOrder = SecondOrderApp<A>;
 
 /**
+ * Walker-aware extension: the app draws each step from per-walker
+ * random state instead of the engine's run-wide stream.
+ *
+ * This is what makes multi-tenant serving reproducible: a walker's
+ * trajectory becomes a pure function of (its request seed, its walk
+ * index, the graph), independent of how requests were batched together
+ * or scheduled across worker threads.  The price is that shared
+ * pre-sample buffers cannot serve such walkers (a reserved sample is
+ * drawn from an anonymous stream), so the engine disables pre-sampling
+ * for walker-aware apps.
+ */
+template <typename A>
+concept WalkerAwareApp =
+    RandomWalkApp<A> &&
+    requires(A app, typename A::WalkerT &w,
+             const graph::VertexView &view) {
+        { app.sample_for(w, view) } -> std::same_as<graph::VertexId>;
+    };
+
+/** Compile-time dispatch helper. */
+template <typename A>
+inline constexpr bool kIsWalkerAware = WalkerAwareApp<A>;
+
+/**
  * The vertex a walker is waiting on: the pending candidate for
  * second-order walkers, otherwise the current location.
  */

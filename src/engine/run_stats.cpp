@@ -31,6 +31,65 @@ RunStats::step_rate() const
     return t <= 0.0 ? 0.0 : static_cast<double>(steps) / t;
 }
 
+RunStats &
+RunStats::operator+=(const RunStats &other)
+{
+    if (engine.empty()) {
+        engine = other.engine;
+    } else if (!other.engine.empty() && other.engine != engine) {
+        engine = "mixed";
+    }
+    walkers += other.walkers;
+    steps += other.steps;
+    graph_bytes_read += other.graph_bytes_read;
+    graph_read_requests += other.graph_read_requests;
+    edges_loaded += other.edges_loaded;
+    swap_bytes += other.swap_bytes;
+    blocks_loaded += other.blocks_loaded;
+    fine_loads += other.fine_loads;
+    cache_hit_blocks += other.cache_hit_blocks;
+    presample_steps += other.presample_steps;
+    block_steps += other.block_steps;
+    stalls += other.stalls;
+    rejection_trials += other.rejection_trials;
+    rejection_rejected += other.rejection_rejected;
+    cpu_seconds += other.cpu_seconds;
+    io_busy_seconds += other.io_busy_seconds;
+    wall_seconds += other.wall_seconds;
+    pipelined = pipelined || other.pipelined;
+    io_efficiency = std::max(io_efficiency, other.io_efficiency);
+    peak_memory = std::max(peak_memory, other.peak_memory);
+    return *this;
+}
+
+RunStats
+RunStats::scaled(double fraction) const
+{
+    const auto part = [fraction](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(v) * fraction + 0.5);
+    };
+    RunStats out = *this;
+    out.walkers = part(walkers);
+    out.steps = part(steps);
+    out.graph_bytes_read = part(graph_bytes_read);
+    out.graph_read_requests = part(graph_read_requests);
+    out.edges_loaded = part(edges_loaded);
+    out.swap_bytes = part(swap_bytes);
+    out.blocks_loaded = part(blocks_loaded);
+    out.fine_loads = part(fine_loads);
+    out.cache_hit_blocks = part(cache_hit_blocks);
+    out.presample_steps = part(presample_steps);
+    out.block_steps = part(block_steps);
+    out.stalls = part(stalls);
+    out.rejection_trials = part(rejection_trials);
+    out.rejection_rejected = part(rejection_rejected);
+    out.cpu_seconds = cpu_seconds * fraction;
+    out.io_busy_seconds = io_busy_seconds * fraction;
+    out.wall_seconds = wall_seconds * fraction;
+    return out;
+}
+
 std::string
 RunStats::to_string() const
 {
@@ -42,6 +101,7 @@ RunStats::to_string() const
         << " edges_loaded=" << edges_loaded << " swap_bytes=" << swap_bytes
         << "\n"
         << "  blocks=" << blocks_loaded << " fine_loads=" << fine_loads
+        << " cache_hits=" << cache_hit_blocks
         << " presample_steps=" << presample_steps
         << " block_steps=" << block_steps << " stalls=" << stalls << "\n"
         << "  cpu_s=" << cpu_seconds << " io_busy_s=" << io_busy_seconds

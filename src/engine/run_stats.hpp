@@ -38,6 +38,8 @@ struct RunStats {
     std::uint64_t blocks_loaded = 0;
     /** Fine-grained (4 KiB bitmap) loads. */
     std::uint64_t fine_loads = 0;
+    /** Coarse loads served from a shared block cache (no device I/O). */
+    std::uint64_t cache_hit_blocks = 0;
 
     /** Steps served by reserved pre-samples (§3.3.5 counts separately). */
     std::uint64_t presample_steps = 0;
@@ -78,6 +80,21 @@ struct RunStats {
     {
         return graph_bytes_read + swap_bytes;
     }
+
+    /**
+     * Accumulate @p other into this record (per-tenant aggregation in
+     * the walk service).  Additive counters and times sum, peak memory
+     * takes the max, and the engine label is kept when it matches
+     * (otherwise it becomes "mixed").
+     */
+    RunStats &operator+=(const RunStats &other);
+
+    /**
+     * This record scaled by @p fraction: additive counters and times
+     * are multiplied, rates/flags/peaks are kept.  Used to slice a
+     * batched run's cost across the requests coalesced into it.
+     */
+    RunStats scaled(double fraction) const;
 
     /** Multi-line human-readable dump. */
     std::string to_string() const;

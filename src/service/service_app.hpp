@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The multi-tenant application one coalesced batch runs as.
+ *
+ * Every request in a batch becomes a Slot owning a fenced range of the
+ * walker id space; generate() maps a walker id to its slot via binary
+ * search.  Steps are drawn from per-walker SplitMix64 state carried in
+ * the walker record (engine::WalkerAwareApp), which makes each walk a
+ * pure function of (request seed, walk index, graph): results are
+ * bit-identical no matter how requests were coalesced or how many
+ * service workers ran them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/app.hpp"
+#include "graph/graph_file.hpp"
+#include "service/walk_request.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker::service {
+
+/** Walker with its own random stream (see file comment). */
+struct ServiceWalker {
+    std::uint64_t id = 0;
+    graph::VertexId location = 0;
+    std::uint32_t step = 0;
+    /** SplitMix64 state advanced once per sampled step. */
+    std::uint64_t rng_state = 0;
+};
+
+/** One batched engine run over the requests coalesced into it. */
+class ServiceWalkApp {
+  public:
+    using WalkerT = ServiceWalker;
+
+    /** Per-request state and output accumulators. */
+    struct Slot {
+        const WalkRequest *request = nullptr;
+        /** First walker id of this slot (fence; cumulative). */
+        std::uint64_t first_walker = 0;
+        std::uint64_t num_walks = 0;
+        /** Steps actually taken by this slot's walks (dead ends cut
+         *  walks short, so this can be below num_walks × length). */
+        std::uint64_t steps_taken = 0;
+
+        std::vector<graph::VertexId> endpoints;
+        std::vector<std::vector<graph::VertexId>> paths;
+        std::unordered_map<graph::VertexId, std::uint64_t> visits;
+    };
+
+    /** Append @p request to the batch. @p request must outlive the app. */
+    void
+    add_request(const WalkRequest &request)
+    {
+        Slot slot;
+        slot.request = &request;
+        slot.first_walker = total_walkers_;
+        slot.num_walks = request.num_walks();
+        if (request.kind == WalkKind::kEndpoints) {
+            slot.endpoints.assign(slot.num_walks, graph::kInvalidVertex);
+        } else if (request.kind == WalkKind::kPaths) {
+            slot.paths.resize(slot.num_walks);
+        }
+        total_walkers_ += slot.num_walks;
+        slots_.push_back(std::move(slot));
+        fences_.push_back(total_walkers_);
+    }
+
+    /** Total walkers across all slots. */
+    std::uint64_t total_walkers() const { return total_walkers_; }
+
+    std::vector<Slot> &slots() { return slots_; }
+    const std::vector<Slot> &slots() const { return slots_; }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        Slot &slot = slot_of(n);
+        const std::uint64_t k = n - slot.first_walker;
+        const WalkRequest &req = *slot.request;
+        const auto start =
+            req.starts[static_cast<std::size_t>(k / req.walks_per_start)];
+        WalkerT w;
+        w.id = n;
+        w.location = start;
+        w.step = 0;
+        // Decorrelate per-walk streams: seed ^ golden-ratio-spread walk
+        // index, then one mixing round.
+        w.rng_state =
+            util::SplitMix64(req.seed ^
+                             (k * 0x9e3779b97f4a7c15ULL + 1)).next();
+        if (req.kind == WalkKind::kEndpoints) {
+            slot.endpoints[k] = start;
+        } else if (req.kind == WalkKind::kPaths) {
+            auto &path = slot.paths[k];
+            path.clear();
+            path.reserve(req.length + 1);
+            path.push_back(start);
+        }
+        return w;
+    }
+
+    /** Anonymous-stream sampling (pre-sample fills; unused here because
+     *  walker-aware apps run with pre-sampling disabled). */
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_uniform(rng);
+    }
+
+    /** Per-walker deterministic step (engine::WalkerAwareApp). */
+    graph::VertexId
+    sample_for(WalkerT &w, const graph::VertexView &view)
+    {
+        std::uint64_t z = (w.rng_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        const Slot &slot = slot_of(w.id);
+        if (slot.request->weighted) {
+            util::Rng rng(z);
+            return view.sample_weighted(rng);
+        }
+        const std::uint64_t degree = view.degree();
+        const auto idx = static_cast<std::size_t>(
+            (static_cast<unsigned __int128>(z) * degree) >> 64);
+        return view.targets[idx];
+    }
+
+    bool
+    active(const WalkerT &w) const
+    {
+        return w.step < slot_of(w.id).request->length;
+    }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &)
+    {
+        Slot &slot = slot_of(w.id);
+        const std::uint64_t k = w.id - slot.first_walker;
+        w.location = next;
+        ++w.step;
+        ++slot.steps_taken;
+        switch (slot.request->kind) {
+        case WalkKind::kEndpoints:
+            slot.endpoints[k] = next;
+            break;
+        case WalkKind::kPaths:
+            slot.paths[k].push_back(next);
+            break;
+        case WalkKind::kVisitCounts:
+            ++slot.visits[next];
+            break;
+        }
+        return true;
+    }
+
+  private:
+    Slot &
+    slot_of(std::uint64_t walker_id)
+    {
+        return slots_[slot_index(walker_id)];
+    }
+
+    const Slot &
+    slot_of(std::uint64_t walker_id) const
+    {
+        return slots_[slot_index(walker_id)];
+    }
+
+    std::size_t
+    slot_index(std::uint64_t walker_id) const
+    {
+        // First fence strictly greater than walker_id.
+        std::size_t lo = 0, hi = fences_.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (fences_[mid] <= walker_id) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint64_t> fences_; ///< cumulative end walker ids
+    std::uint64_t total_walkers_ = 0;
+};
+
+static_assert(engine::RandomWalkApp<ServiceWalkApp>);
+static_assert(engine::WalkerAwareApp<ServiceWalkApp>);
+
+} // namespace noswalker::service

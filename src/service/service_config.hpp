@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Walk service tunables: worker pool size, request coalescing window,
+ * shared memory budget, and admission policy.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace noswalker::service {
+
+/** Tunables of the WalkService. */
+struct ServiceConfig {
+    /** Worker threads, each driving one NosWalker engine. */
+    unsigned num_workers = 2;
+
+    /** Submission queue bound; try_push beyond it rejects (0 = unbounded). */
+    std::size_t max_queue = 1024;
+
+    /** Max requests coalesced into one engine run. */
+    std::size_t max_batch = 16;
+
+    /**
+     * Coalescing window: seconds the dispatcher holds an under-full
+     * batch open after its first request arrives.  0 dispatches every
+     * request alone (no batching).
+     */
+    double batch_window_seconds = 0.002;
+
+    /**
+     * Shared memory budget in bytes across all workers, engines, and
+     * the block cache (0 = unlimited).  Admission control rejects
+     * requests that can never fit and queues the rest.
+     */
+    std::uint64_t memory_budget = 0;
+
+    /** Byte capacity of the shared block cache (0 = no cache). */
+    std::uint64_t cache_bytes = 0;
+
+    /** Engine block size in bytes. */
+    std::uint64_t block_bytes = 1ULL << 20;
+
+    /** Background loader threads per engine (0 = synchronous loads). */
+    unsigned loader_threads = 1;
+
+    /** Engine walker-pool cap per run (0 = derive from the budget). */
+    std::uint64_t max_walkers = 0;
+
+    /**
+     * Over-budget policy: true queues requests until workers free
+     * memory; false rejects at submission when the request would not
+     * fit right now.
+     */
+    bool queue_over_budget = true;
+
+    /** Seconds a worker waits for shared-budget headroom per attempt. */
+    double budget_wait_seconds = 0.05;
+
+    /** Budget-wait attempts before a batch fails with kRejectedBudget. */
+    unsigned budget_retry_limit = 20;
+
+    /** Validate ranges; @throws util::ConfigError on nonsense. */
+    void validate() const;
+};
+
+} // namespace noswalker::service

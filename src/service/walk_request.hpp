@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The walk service's request/response vocabulary.
+ *
+ * A WalkRequest asks for a gang of random walks (ThunderRW-style query
+ * batching: many short walks per request, many requests coalesced per
+ * engine run).  Results come back through a future-based WalkTicket;
+ * every request carries its own seed, so its results are a pure
+ * function of (graph, request) — independent of batching, scheduling,
+ * and the number of service workers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/run_stats.hpp"
+#include "graph/types.hpp"
+
+namespace noswalker::service {
+
+/** What the caller wants back from its walks. */
+enum class WalkKind : std::uint8_t {
+    /** Final vertex of every walk (PPR-style endpoint queries). */
+    kEndpoints,
+    /** Full vertex sequence of every walk (DeepWalk corpus queries). */
+    kPaths,
+    /** Top-k visited vertices with visit counts (PPR top-k queries). */
+    kVisitCounts,
+};
+
+/** One walk query: a gang of fixed-length walks from given sources. */
+struct WalkRequest {
+    WalkKind kind = WalkKind::kEndpoints;
+    /** Start vertices; walks_per_start walks begin at each. */
+    std::vector<graph::VertexId> starts;
+    std::uint32_t walks_per_start = 1;
+    /** Steps per walk. */
+    std::uint32_t length = 10;
+    /** Per-request seed: results are a pure function of (graph, this). */
+    std::uint64_t seed = 1;
+    /** Weight-proportional steps (requires a weighted graph). */
+    bool weighted = false;
+    /** kVisitCounts: how many top vertices to return. */
+    std::uint32_t top_k = 16;
+    /** Best-effort: higher-priority requests are dispatched first. */
+    std::int32_t priority = 0;
+    /** Seconds after submission until the request expires (0 = never). */
+    double deadline_seconds = 0.0;
+    /** Tenant for per-tenant accounting (RunStats aggregation). */
+    std::uint64_t tenant = 0;
+
+    /** Walks this request will run. */
+    std::uint64_t
+    num_walks() const
+    {
+        return static_cast<std::uint64_t>(starts.size()) *
+               walks_per_start;
+    }
+};
+
+/** Terminal state of a request. */
+enum class WalkStatus : std::uint8_t {
+    kOk,
+    /** Submission queue was full. */
+    kRejectedQueueFull,
+    /** The request can never (or right now, in reject mode) fit the
+     *  service memory budget. */
+    kRejectedBudget,
+    /** The deadline passed before a worker picked the request up. */
+    kDeadlineExpired,
+    /** The service was stopped before the request ran. */
+    kShutdown,
+    /** The run failed; see error. */
+    kFailed,
+};
+
+/** Human-readable status name. */
+const char *to_string(WalkStatus status);
+
+/** Everything a completed (or failed) request produces. */
+struct WalkResult {
+    WalkStatus status = WalkStatus::kFailed;
+    std::string error;
+
+    /** kEndpoints: final vertex per walk, indexed by walk number. */
+    std::vector<graph::VertexId> endpoints;
+    /** kPaths: full sequence per walk (start included). */
+    std::vector<std::vector<graph::VertexId>> paths;
+    /** kVisitCounts: (vertex, visits), most visited first. */
+    std::vector<std::pair<graph::VertexId, std::uint64_t>> top_visits;
+
+    /** This request's slice of its batch's engine run. */
+    engine::RunStats stats;
+
+    /** Wall seconds between submission and dispatch to an engine. */
+    double wait_seconds = 0.0;
+    /** Wall seconds of the batched engine run serving this request. */
+    double run_seconds = 0.0;
+    /** Modeled end-to-end latency: queue wait + modeled batch run. */
+    double modeled_latency_seconds = 0.0;
+
+    /** Engine run this request was coalesced into, and its size. */
+    std::uint64_t batch_id = 0;
+    std::uint32_t batch_size = 0;
+
+    bool ok() const { return status == WalkStatus::kOk; }
+};
+
+/** Future-based handle to a submitted request. */
+class WalkTicket {
+  public:
+    WalkTicket() = default;
+
+    /** Service-assigned request id (0 for a default-constructed ticket). */
+    std::uint64_t id() const { return id_; }
+
+    /** Whether a result can still be retrieved. */
+    bool valid() const { return future_.valid(); }
+
+    /** Block until the result is ready and move it out (one shot). */
+    WalkResult get() { return future_.get(); }
+
+    /** Wait up to @p seconds. @return true when the result is ready. */
+    bool
+    wait_for(double seconds) const
+    {
+        return future_.wait_for(std::chrono::duration<double>(
+                   seconds)) == std::future_status::ready;
+    }
+
+  private:
+    friend class WalkService;
+
+    WalkTicket(std::uint64_t id, std::future<WalkResult> future)
+        : id_(id), future_(std::move(future))
+    {
+    }
+
+    std::uint64_t id_ = 0;
+    std::future<WalkResult> future_;
+};
+
+} // namespace noswalker::service

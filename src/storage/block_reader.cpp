@@ -62,8 +62,10 @@ BlockBuffer::clear()
 
 BlockReader::BlockReader(const graph::GraphFile &file,
                          util::MemoryBudget &budget,
-                         std::uint64_t max_request)
-    : file_(&file), budget_(&budget), max_request_(max_request)
+                         std::uint64_t max_request,
+                         SharedBlockCache *cache)
+    : file_(&file), budget_(&budget), max_request_(max_request),
+      cache_(cache)
 {
     NOSWALKER_CHECK(max_request_ >= kPageBytes);
 }
@@ -89,6 +91,19 @@ BlockReader::load_coarse(const graph::BlockInfo &block, BlockBuffer &out)
 {
     prepare(block, out);
     LoadResult result;
+    if (cache_ != nullptr) {
+        if (const auto entry = cache_->find(block.id)) {
+            // A hit replaces the modeled device read with a memcpy;
+            // sizes match because both sides cover the same aligned
+            // span of the same block.
+            NOSWALKER_CHECK(entry->bytes.size() <= out.data_.size());
+            std::copy(entry->bytes.begin(), entry->bytes.end(),
+                      out.data_.begin());
+            out.complete_ = true;
+            result.from_cache = true;
+            return result;
+        }
+    }
     // Clamp to the device end: the last page of the file may be partial.
     const std::uint64_t device_end = file_->device().size();
     std::uint64_t pos = out.aligned_begin_;
@@ -101,9 +116,16 @@ BlockReader::load_coarse(const graph::BlockInfo &block, BlockBuffer &out)
                              out.data_.data() + (pos - out.aligned_begin_));
         result.bytes_read += len;
         ++result.requests;
+        result.modeled_seconds +=
+            file_->device().model().request_seconds(len);
         pos += len;
     }
     out.complete_ = true;
+    if (cache_ != nullptr) {
+        cache_->insert(block.id, out.aligned_begin_,
+                       std::vector<std::uint8_t>(out.data_.begin(),
+                                                 out.data_.end()));
+    }
     return result;
 }
 
@@ -158,6 +180,8 @@ BlockReader::load_fine(const graph::BlockInfo &block,
                                  out.data_.data() + p * kPageBytes);
             result.bytes_read += len;
             ++result.requests;
+            result.modeled_seconds +=
+                file_->device().model().request_seconds(len);
         }
         p = run_end;
     }

@@ -16,6 +16,7 @@
 
 #include "graph/graph_file.hpp"
 #include "graph/partition.hpp"
+#include "storage/shared_block_cache.hpp"
 #include "util/bitmap.hpp"
 #include "util/memory_budget.hpp"
 
@@ -70,6 +71,10 @@ class BlockBuffer {
 struct LoadResult {
     std::uint64_t bytes_read = 0;
     std::uint64_t requests = 0;
+    /** Modeled device time of this load's requests, seconds. */
+    double modeled_seconds = 0.0;
+    /** True when a shared cache served the load without device I/O. */
+    bool from_cache = false;
 };
 
 /**
@@ -85,9 +90,12 @@ class BlockReader {
      * @param budget     block-buffer memory is reserved here.
      * @param max_request cap on a single coarse request (default 8 MiB),
      *        mimicking bounded async-I/O submission sizes.
+     * @param cache      optional shared block cache: coarse loads are
+     *        served from it on a hit and published to it on a miss.
      */
     BlockReader(const graph::GraphFile &file, util::MemoryBudget &budget,
-                std::uint64_t max_request = 8ULL << 20);
+                std::uint64_t max_request = 8ULL << 20,
+                SharedBlockCache *cache = nullptr);
 
     /** Load the whole of @p block into @p out (coarse mode). */
     LoadResult load_coarse(const graph::BlockInfo &block, BlockBuffer &out);
@@ -111,6 +119,7 @@ class BlockReader {
     const graph::GraphFile *file_;
     util::MemoryBudget *budget_;
     std::uint64_t max_request_;
+    SharedBlockCache *cache_;
 };
 
 } // namespace noswalker::storage

@@ -3,12 +3,20 @@
  * Bounded blocking MPMC queue.
  *
  * Connects NosWalker's background block-loader thread to the walker
- * processing threads (Figure 6: block buffers feed the pre-sampler).
- * Capacity bounds the number of in-flight block buffers, which is what
- * keeps the loader from outrunning the memory budget.
+ * processing threads (Figure 6: block buffers feed the pre-sampler),
+ * and the walk service's submission path to its dispatcher/worker
+ * threads.  Capacity bounds the number of in-flight elements, which is
+ * what keeps producers from outrunning the memory budget; capacity 0
+ * means unbounded.
+ *
+ * Shutdown semantics (multi-producer, multi-consumer safe): close()
+ * fails all current and future pushes, wakes every blocked producer and
+ * consumer, and lets consumers drain the remaining elements before
+ * pop() starts returning nullopt.
  */
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,7 +30,7 @@ namespace noswalker::util {
 template <typename T>
 class BlockingQueue {
   public:
-    /** Queue holding at most @p capacity elements. */
+    /** Queue holding at most @p capacity elements (0 = unbounded). */
     explicit BlockingQueue(std::size_t capacity = 4) : capacity_(capacity) {}
 
     /**
@@ -33,10 +41,24 @@ class BlockingQueue {
     push(T value)
     {
         std::unique_lock lock(mutex_);
-        not_full_.wait(lock, [&] {
-            return closed_ || queue_.size() < capacity_;
-        });
+        not_full_.wait(lock, [&] { return closed_ || has_room(); });
         if (closed_) {
+            return false;
+        }
+        queue_.push_back(std::move(value));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Non-blocking push.
+     * @return false (value dropped) when full or closed.
+     */
+    bool
+    try_push(T value)
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_ || !has_room()) {
             return false;
         }
         queue_.push_back(std::move(value));
@@ -53,27 +75,30 @@ class BlockingQueue {
     {
         std::unique_lock lock(mutex_);
         not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            return std::nullopt;
-        }
-        T value = std::move(queue_.front());
-        queue_.pop_front();
-        not_full_.notify_one();
-        return value;
+        return take(lock);
+    }
+
+    /**
+     * Pop with a timeout.
+     * @return nullopt on timeout, or when the queue is closed and
+     *         drained (disambiguate with closed()).
+     */
+    template <typename Rep, typename Period>
+    std::optional<T>
+    pop_for(std::chrono::duration<Rep, Period> timeout)
+    {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait_for(lock, timeout,
+                            [&] { return closed_ || !queue_.empty(); });
+        return take(lock);
     }
 
     /** Non-blocking pop. */
     std::optional<T>
     try_pop()
     {
-        std::lock_guard lock(mutex_);
-        if (queue_.empty()) {
-            return std::nullopt;
-        }
-        T value = std::move(queue_.front());
-        queue_.pop_front();
-        not_full_.notify_one();
-        return value;
+        std::unique_lock lock(mutex_);
+        return take(lock);
     }
 
     /** Close the queue: producers fail, consumers drain then get nullopt. */
@@ -86,6 +111,14 @@ class BlockingQueue {
         not_full_.notify_all();
     }
 
+    /** Whether close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
     /** Current element count. */
     std::size_t
     size() const
@@ -94,7 +127,24 @@ class BlockingQueue {
         return queue_.size();
     }
 
+    /** Max elements (0 = unbounded). */
+    std::size_t capacity() const { return capacity_; }
+
   private:
+    bool has_room() const { return capacity_ == 0 || queue_.size() < capacity_; }
+
+    std::optional<T>
+    take(std::unique_lock<std::mutex> &)
+    {
+        if (queue_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
     const std::size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable not_empty_;

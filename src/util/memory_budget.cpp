@@ -1,5 +1,6 @@
 #include "util/memory_budget.hpp"
 
+#include <chrono>
 #include <limits>
 
 namespace noswalker::util {
@@ -42,12 +43,46 @@ MemoryBudget::try_reserve(std::uint64_t bytes)
     }
 }
 
+bool
+MemoryBudget::reserve_wait(std::uint64_t bytes, double timeout_seconds)
+{
+    if (try_reserve(bytes)) {
+        return true;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(wait_mutex_);
+    bool ok = false;
+    for (;;) {
+        if (try_reserve(bytes)) {
+            ok = true;
+            break;
+        }
+        if (released_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+            ok = try_reserve(bytes);
+            break;
+        }
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return ok;
+}
+
 void
 MemoryBudget::release(std::uint64_t bytes)
 {
     const std::uint64_t prev =
         used_.fetch_sub(bytes, std::memory_order_relaxed);
     NOSWALKER_CHECK(prev >= bytes);
+    if (waiters_.load(std::memory_order_relaxed) > 0) {
+        // Lock before notifying so a waiter between its try_reserve and
+        // its wait cannot miss the wake-up.
+        std::lock_guard lock(wait_mutex_);
+        released_.notify_all();
+    }
 }
 
 void

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "util/error.hpp"
@@ -71,6 +73,15 @@ class MemoryBudget {
      */
     bool try_reserve(std::uint64_t bytes);
 
+    /**
+     * Reserve @p bytes, waiting up to @p timeout_seconds for other
+     * holders to release enough.  Lets concurrent engine runs queue for
+     * a shared budget instead of failing outright (the walk service's
+     * admission control).
+     * @return false when the bytes never became available in time.
+     */
+    bool reserve_wait(std::uint64_t bytes, double timeout_seconds);
+
     /** Release @p bytes previously reserved. */
     void release(std::uint64_t bytes);
 
@@ -80,6 +91,11 @@ class MemoryBudget {
     std::uint64_t limit_;
     std::atomic<std::uint64_t> used_{0};
     std::atomic<std::uint64_t> peak_{0};
+
+    /** Waiter support for reserve_wait; the fast paths never lock. */
+    std::atomic<int> waiters_{0};
+    std::mutex wait_mutex_;
+    std::condition_variable released_;
 };
 
 /**

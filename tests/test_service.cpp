@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Walk service tests: per-request determinism independent of worker
+ * count and batching, admission control, request coalescing, deadline
+ * and shutdown handling, and per-tenant accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "service/walk_service.hpp"
+#include "storage/mem_device.hpp"
+
+namespace noswalker::service {
+namespace {
+
+struct Fixture {
+    graph::CsrGraph graph;
+    storage::MemDevice device;
+    std::unique_ptr<graph::GraphFile> file;
+    std::unique_ptr<graph::BlockPartition> partition;
+
+    Fixture(graph::CsrGraph g, std::uint64_t block_bytes)
+        : graph(std::move(g))
+    {
+        graph::GraphFile::write(graph, device);
+        file = std::make_unique<graph::GraphFile>(device);
+        partition =
+            std::make_unique<graph::BlockPartition>(*file, block_bytes);
+    }
+};
+
+graph::CsrGraph
+skewed_graph()
+{
+    return graph::generate_rmat({.scale = 9,
+                                 .edge_factor = 8,
+                                 .a = 0.57,
+                                 .b = 0.19,
+                                 .c = 0.19,
+                                 .seed = 21,
+                                 .symmetrize = false,
+                                 .weighted = false});
+}
+
+/** A mixed workload exercising every request kind. */
+std::vector<WalkRequest>
+canned_requests(graph::VertexId num_vertices)
+{
+    std::vector<WalkRequest> requests;
+    for (int i = 0; i < 12; ++i) {
+        WalkRequest r;
+        r.seed = 1000 + 37 * static_cast<std::uint64_t>(i);
+        r.length = 6 + static_cast<std::uint32_t>(i % 5);
+        r.tenant = static_cast<std::uint64_t>(i % 2);
+        switch (i % 3) {
+        case 0:
+            r.kind = WalkKind::kEndpoints;
+            r.starts = {static_cast<graph::VertexId>((1 + i) %
+                                                     num_vertices),
+                        static_cast<graph::VertexId>((7 + 3 * i) %
+                                                     num_vertices)};
+            r.walks_per_start = 3;
+            break;
+        case 1:
+            r.kind = WalkKind::kPaths;
+            r.starts = {static_cast<graph::VertexId>((5 + 11 * i) %
+                                                     num_vertices)};
+            r.walks_per_start = 2;
+            break;
+        default:
+            r.kind = WalkKind::kVisitCounts;
+            r.starts = {static_cast<graph::VertexId>((13 * i) %
+                                                     num_vertices)};
+            r.walks_per_start = 20;
+            r.top_k = 8;
+            break;
+        }
+        requests.push_back(std::move(r));
+    }
+    return requests;
+}
+
+/** Submit @p requests to a fresh service and collect all results. */
+std::vector<WalkResult>
+run_all(Fixture &fixture, ServiceConfig config,
+        const std::vector<WalkRequest> &requests)
+{
+    WalkService service(*fixture.file, *fixture.partition, config);
+    std::vector<WalkTicket> tickets;
+    tickets.reserve(requests.size());
+    for (const WalkRequest &request : requests) {
+        tickets.push_back(service.submit(request));
+    }
+    std::vector<WalkResult> results;
+    results.reserve(tickets.size());
+    for (WalkTicket &ticket : tickets) {
+        results.push_back(ticket.get());
+    }
+    return results;
+}
+
+TEST(WalkService, ResultsBitIdenticalAcrossWorkerCountsAndBatching)
+{
+    Fixture s(skewed_graph(), 4096);
+    const auto requests = canned_requests(s.file->num_vertices());
+
+    ServiceConfig base;
+    base.cache_bytes = 1ULL << 20;
+    base.batch_window_seconds = 0.002;
+
+    ServiceConfig solo = base;
+    solo.num_workers = 1;
+    solo.max_batch = 1;
+    const auto reference = run_all(s, solo, requests);
+
+    for (const auto &[workers, batch] :
+         {std::pair<unsigned, std::size_t>{2, 4}, {8, 8}}) {
+        ServiceConfig cfg = base;
+        cfg.num_workers = workers;
+        cfg.max_batch = batch;
+        const auto results = run_all(s, cfg, requests);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASSERT_EQ(results[i].status, WalkStatus::kOk)
+                << "request " << i << ": " << results[i].error;
+            EXPECT_EQ(results[i].endpoints, reference[i].endpoints)
+                << "request " << i << " at " << workers << " workers";
+            EXPECT_EQ(results[i].paths, reference[i].paths)
+                << "request " << i << " at " << workers << " workers";
+            EXPECT_EQ(results[i].top_visits, reference[i].top_visits)
+                << "request " << i << " at " << workers << " workers";
+            EXPECT_EQ(results[i].stats.walkers,
+                      reference[i].stats.walkers);
+            EXPECT_EQ(results[i].stats.steps, reference[i].stats.steps);
+        }
+    }
+}
+
+TEST(WalkService, PathsFollowRealEdges)
+{
+    Fixture s(skewed_graph(), 4096);
+    WalkRequest request;
+    request.kind = WalkKind::kPaths;
+    request.starts = {3, 9, 27};
+    request.walks_per_start = 4;
+    request.length = 10;
+    request.seed = 7;
+
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    WalkService service(*s.file, *s.partition, cfg);
+    WalkResult result = service.submit(request).get();
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.paths.size(), request.num_walks());
+    for (const auto &path : result.paths) {
+        ASSERT_FALSE(path.empty());
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            ASSERT_TRUE(s.graph.has_edge(path[i], path[i + 1]))
+                << path[i] << "->" << path[i + 1] << " is not an edge";
+        }
+    }
+}
+
+TEST(WalkService, TinyBudgetRejectsAtSubmission)
+{
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+    ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.memory_budget = 1024; // below any run's fixed footprint
+
+    WalkService service(*s.file, *s.partition, cfg);
+    WalkRequest request;
+    request.starts = {1};
+    const WalkResult result = service.submit(request).get();
+    EXPECT_EQ(result.status, WalkStatus::kRejectedBudget);
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_EQ(service.counters().rejected_budget, 1u);
+    EXPECT_EQ(service.counters().completed, 0u);
+}
+
+TEST(WalkService, BatchingWindowCoalescesCompatibleRequests)
+{
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+
+    // One worker, generous window, max_batch 8: eight quick
+    // submissions must land in exactly one engine run.
+    {
+        ServiceConfig cfg;
+        cfg.num_workers = 1;
+        cfg.max_batch = 8;
+        cfg.batch_window_seconds = 0.5;
+        WalkService service(*s.file, *s.partition, cfg);
+        std::vector<WalkTicket> tickets;
+        for (int i = 0; i < 8; ++i) {
+            WalkRequest request;
+            request.starts = {static_cast<graph::VertexId>(i)};
+            request.walks_per_start = 2;
+            request.length = 4;
+            request.seed = 50 + static_cast<std::uint64_t>(i);
+            tickets.push_back(service.submit(request));
+        }
+        std::uint64_t batch_id = 0;
+        for (WalkTicket &ticket : tickets) {
+            const WalkResult result = ticket.get();
+            ASSERT_TRUE(result.ok()) << result.error;
+            EXPECT_EQ(result.batch_size, 8u);
+            if (batch_id == 0) {
+                batch_id = result.batch_id;
+            }
+            EXPECT_EQ(result.batch_id, batch_id);
+        }
+        EXPECT_EQ(service.counters().batches, 1u);
+        EXPECT_EQ(service.counters().coalesced_requests, 8u);
+    }
+
+    // max_batch 2 splits six submissions into exactly three runs.
+    {
+        ServiceConfig cfg;
+        cfg.num_workers = 1;
+        cfg.max_batch = 2;
+        cfg.batch_window_seconds = 0.5;
+        WalkService service(*s.file, *s.partition, cfg);
+        std::vector<WalkTicket> tickets;
+        for (int i = 0; i < 6; ++i) {
+            WalkRequest request;
+            request.starts = {static_cast<graph::VertexId>(10 + i)};
+            request.length = 4;
+            request.seed = 90 + static_cast<std::uint64_t>(i);
+            tickets.push_back(service.submit(request));
+        }
+        for (WalkTicket &ticket : tickets) {
+            const WalkResult result = ticket.get();
+            ASSERT_TRUE(result.ok()) << result.error;
+            EXPECT_EQ(result.batch_size, 2u);
+        }
+        EXPECT_EQ(service.counters().batches, 3u);
+        EXPECT_EQ(service.counters().coalesced_requests, 6u);
+    }
+}
+
+TEST(WalkService, ExactStepAccountingOnRegularGraph)
+{
+    // Every vertex has out-degree 8, so no walk dies early and the
+    // per-request stats slices carry exact walker/step counts.
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    WalkService service(*s.file, *s.partition, cfg);
+
+    WalkRequest request;
+    request.kind = WalkKind::kEndpoints;
+    request.starts = {1, 2, 3};
+    request.walks_per_start = 5;
+    request.length = 7;
+    request.tenant = 42;
+
+    WalkResult a = service.submit(request).get();
+    request.seed = 2;
+    WalkResult b = service.submit(request).get();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.stats.walkers, 15u);
+    EXPECT_EQ(a.stats.steps, 15u * 7);
+
+    const engine::RunStats tenant = service.tenant_stats(42);
+    EXPECT_EQ(tenant.walkers, 30u);
+    EXPECT_EQ(tenant.steps, 30u * 7);
+    EXPECT_EQ(service.tenant_stats(7).walkers, 0u);
+}
+
+TEST(WalkService, DeadlineExpiresWhileQueued)
+{
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+    ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.batch_window_seconds = 0.05; // guarantees > 1 µs queue time
+    WalkService service(*s.file, *s.partition, cfg);
+
+    WalkRequest request;
+    request.starts = {1};
+    request.deadline_seconds = 1e-6;
+    const WalkResult result = service.submit(request).get();
+    EXPECT_EQ(result.status, WalkStatus::kDeadlineExpired);
+    EXPECT_EQ(service.counters().expired, 1u);
+}
+
+TEST(WalkService, MalformedRequestsFailFast)
+{
+    Fixture s(graph::generate_uniform(100, 8, 5), 4096);
+    WalkService service(*s.file, *s.partition, ServiceConfig{});
+
+    WalkRequest empty;
+    EXPECT_EQ(service.submit(empty).get().status, WalkStatus::kFailed);
+
+    WalkRequest out_of_range;
+    out_of_range.starts = {1000};
+    EXPECT_EQ(service.submit(out_of_range).get().status,
+              WalkStatus::kFailed);
+
+    WalkRequest weighted;
+    weighted.starts = {1};
+    weighted.weighted = true; // graph is unweighted
+    EXPECT_EQ(service.submit(weighted).get().status,
+              WalkStatus::kFailed);
+
+    EXPECT_EQ(service.counters().failed, 3u);
+}
+
+TEST(WalkService, SubmitAfterStopReturnsShutdown)
+{
+    Fixture s(graph::generate_uniform(100, 8, 5), 4096);
+    WalkService service(*s.file, *s.partition, ServiceConfig{});
+    service.stop();
+    WalkRequest request;
+    request.starts = {1};
+    const WalkResult result = service.submit(request).get();
+    EXPECT_EQ(result.status, WalkStatus::kShutdown);
+}
+
+TEST(WalkService, SharedCacheServesRepeatedRequests)
+{
+    Fixture s(skewed_graph(), 4096);
+    ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.cache_bytes = 8ULL << 20;
+    WalkService service(*s.file, *s.partition, cfg);
+
+    WalkRequest request;
+    request.starts = {3, 5, 7};
+    request.walks_per_start = 10;
+    request.length = 12;
+    const WalkResult first = service.submit(request).get();
+    ASSERT_TRUE(first.ok());
+    request.seed = 2;
+    const WalkResult second = service.submit(request).get();
+    ASSERT_TRUE(second.ok());
+
+    EXPECT_GT(service.counters().cache_hits, 0u);
+    // Identical walks regardless of cache state: same seed re-run.
+    request.seed = 1;
+    const WalkResult third = service.submit(request).get();
+    ASSERT_TRUE(third.ok());
+    EXPECT_EQ(third.endpoints, first.endpoints);
+}
+
+} // namespace
+} // namespace noswalker::service

@@ -1,7 +1,9 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 namespace noswalker::bench {
@@ -144,6 +146,131 @@ print_run(const std::string &dataset, const std::string &workload,
                      fmt_bytes(stats.total_io_bytes()),
                      fmt_double(stats.edges_per_step(), 2),
                      fmt_count(stats.steps)});
+}
+
+JsonReporter
+JsonReporter::from_args(int argc, char **argv)
+{
+    JsonReporter reporter;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            reporter.path_ = argv[i + 1];
+            break;
+        }
+    }
+    return reporter;
+}
+
+void
+JsonReporter::add(JsonRecord record)
+{
+    if (active()) {
+        records_.push_back(std::move(record));
+    }
+}
+
+void
+JsonReporter::add(const std::string &dataset,
+                  const std::string &workload,
+                  const engine::RunStats &stats)
+{
+    if (!active()) {
+        return;
+    }
+    JsonRecord r;
+    r.engine = stats.engine;
+    r.dataset = dataset;
+    r.workload = workload;
+    r.steps = stats.steps;
+    const double modeled = stats.modeled_seconds();
+    r.steps_per_second =
+        modeled > 0.0 ? static_cast<double>(stats.steps) / modeled : 0.0;
+    r.io_busy_seconds = stats.io_busy_seconds;
+    r.cpu_seconds = stats.cpu_seconds;
+    r.peak_memory = stats.peak_memory;
+    records_.push_back(std::move(r));
+}
+
+namespace {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_number(double v)
+{
+    // JSON has no NaN/Inf; clamp to null-adjacent zero.
+    if (!(v == v) || v > 1e308 || v < -1e308) {
+        return "0";
+    }
+    std::ostringstream out;
+    out.precision(12);
+    out << v;
+    return out.str();
+}
+
+} // namespace
+
+void
+JsonReporter::flush()
+{
+    if (!active() || records_.empty()) {
+        return;
+    }
+    std::ofstream out(path_);
+    if (!out) {
+        std::fprintf(stderr, "JsonReporter: cannot open %s\n",
+                     path_.c_str());
+        return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const JsonRecord &r = records_[i];
+        out << "  {\"engine\": \"" << json_escape(r.engine)
+            << "\", \"dataset\": \"" << json_escape(r.dataset)
+            << "\", \"workload\": \"" << json_escape(r.workload)
+            << "\", \"steps\": " << r.steps
+            << ", \"steps_per_second\": " << json_number(r.steps_per_second)
+            << ", \"io_busy_seconds\": " << json_number(r.io_busy_seconds)
+            << ", \"cpu_seconds\": " << json_number(r.cpu_seconds)
+            << ", \"peak_memory\": " << r.peak_memory;
+        for (const auto &[key, value] : r.extras) {
+            out << ", \"" << json_escape(key)
+                << "\": " << json_number(value);
+        }
+        out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    records_.clear();
 }
 
 } // namespace noswalker::bench

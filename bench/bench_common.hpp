@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/noswalker_engine.hpp"
@@ -91,5 +92,60 @@ std::string fmt_count(std::uint64_t count);
 /** One result line: system name + headline metrics of a run. */
 void print_run(const std::string &dataset, const std::string &workload,
                const engine::RunStats &stats);
+
+/** One machine-readable bench result (see JsonReporter). */
+struct JsonRecord {
+    std::string engine;
+    std::string dataset;
+    std::string workload;
+    std::uint64_t steps = 0;
+    double steps_per_second = 0.0;
+    double io_busy_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    std::uint64_t peak_memory = 0;
+    /** Bench-specific metrics appended verbatim (numeric). */
+    std::vector<std::pair<std::string, double>> extras;
+};
+
+/**
+ * Optional `--json <path>` sink for bench binaries: collects one
+ * JsonRecord per run and writes them as a JSON array on flush (or
+ * destruction), so scripts/bench_snapshot.sh can archive comparable
+ * numbers across commits.  Inactive (no-op) unless --json was passed.
+ * Serialization is hand-rolled — no external dependencies.
+ */
+class JsonReporter {
+  public:
+    /** Scan argv for `--json <path>`; inactive when absent. */
+    static JsonReporter from_args(int argc, char **argv);
+
+    JsonReporter() = default;
+    ~JsonReporter() { flush(); }
+    JsonReporter(JsonReporter &&other) noexcept
+        : path_(std::move(other.path_)),
+          records_(std::move(other.records_))
+    {
+        other.path_.clear();
+    }
+    JsonReporter &operator=(JsonReporter &&) = delete;
+    JsonReporter(const JsonReporter &) = delete;
+    JsonReporter &operator=(const JsonReporter &) = delete;
+
+    bool active() const { return !path_.empty(); }
+
+    void add(JsonRecord record);
+
+    /** Convenience: build the record from a run's stats.  steps/s uses
+     *  the harness's modeled-time policy (SSD model + measured CPU). */
+    void add(const std::string &dataset, const std::string &workload,
+             const engine::RunStats &stats);
+
+    /** Write the collected records to the --json path (idempotent). */
+    void flush();
+
+  private:
+    std::string path_;
+    std::vector<JsonRecord> records_;
+};
 
 } // namespace noswalker::bench

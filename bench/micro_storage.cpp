@@ -152,9 +152,13 @@ BM_PreSampleBuildAndDrain(benchmark::State &state)
         std::uint64_t drained = 0;
         for (graph::VertexId v = block.first_vertex;
              v < block.end_vertex; ++v) {
-            while (ps.has(v) && !ps.is_direct(v)) {
-                benchmark::DoNotOptimize(ps.top(v));
-                ps.pop(v);
+            if (!ps.has(v) || ps.is_direct(v)) {
+                continue;
+            }
+            const std::uint32_t q = ps.quota(v);
+            for (std::uint32_t i = 0; i < q; ++i) {
+                benchmark::DoNotOptimize(ps.sample(v, rng));
+                ps.consume(v);
                 ++drained;
             }
         }

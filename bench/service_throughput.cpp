@@ -81,6 +81,9 @@ struct SweepPoint {
     std::uint64_t batches = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t steps = 0;
+    double io_busy_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    std::uint64_t peak_memory = 0;
 };
 
 SweepPoint
@@ -117,6 +120,10 @@ run_point(BenchEnv &env, GraphHandle &handle, unsigned workers,
             ++ok;
             latencies.push_back(result.modeled_latency_seconds);
             point.steps += result.stats.steps;
+            point.io_busy_seconds += result.stats.io_busy_seconds;
+            point.cpu_seconds += result.stats.cpu_seconds;
+            point.peak_memory =
+                std::max(point.peak_memory, result.stats.peak_memory);
         }
     }
     point.wall_seconds = wall.seconds();
@@ -134,11 +141,12 @@ run_point(BenchEnv &env, GraphHandle &handle, unsigned workers,
 } // namespace noswalker::bench
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace noswalker;
     using namespace noswalker::bench;
 
+    JsonReporter json = JsonReporter::from_args(argc, argv);
     BenchEnv env;
     GraphHandle &handle = env.get(graph::DatasetId::kKron30);
     std::printf("walk service throughput on %s (scale %u): "
@@ -167,6 +175,24 @@ main()
                              fmt_count(p.batches),
                              fmt_count(p.cache_hits),
                              fmt_count(p.steps)});
+            JsonRecord r;
+            r.engine = "WalkService";
+            r.dataset = handle.spec.name;
+            r.workload = "workers=" + std::to_string(p.workers) +
+                         ",max_batch=" + std::to_string(p.max_batch);
+            r.steps = p.steps;
+            r.steps_per_second = p.wall_seconds > 0.0
+                                     ? static_cast<double>(p.steps) /
+                                           p.wall_seconds
+                                     : 0.0;
+            r.io_busy_seconds = p.io_busy_seconds;
+            r.cpu_seconds = p.cpu_seconds;
+            r.peak_memory = p.peak_memory;
+            r.extras.emplace_back("requests_per_second",
+                                  p.requests_per_second);
+            r.extras.emplace_back("p50_latency_seconds", p.p50);
+            r.extras.emplace_back("p99_latency_seconds", p.p99);
+            json.add(std::move(r));
         }
     }
     std::printf("\nbatching trades per-request latency for shared block "

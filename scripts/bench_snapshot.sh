@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Capture a benchmark snapshot: run the core ablation and the walk
+# service throughput sweep, archiving their JSON reports under
+# bench-results/<git-sha>/ so numbers stay comparable across commits.
+#
+# Usage: scripts/bench_snapshot.sh [output-dir]
+#   BUILD_DIR               build tree holding the bench binaries
+#                           (default: build)
+#   NOSWALKER_BENCH_SCALE   twin scale forwarded to the benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SHA=$(git rev-parse --short HEAD 2>/dev/null || date +%s)
+OUT=${1:-bench-results/$SHA}
+
+for bin in ablation_core service_throughput; do
+    if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+        echo "error: $BUILD_DIR/bench/$bin not built" \
+             "(cmake --build $BUILD_DIR --target $bin)" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$OUT"
+echo "== ablation_core =="
+"$BUILD_DIR/bench/ablation_core" --json "$OUT/ablation_core.json"
+echo "== service_throughput =="
+"$BUILD_DIR/bench/service_throughput" --json "$OUT/service_throughput.json"
+echo
+echo "snapshot written to $OUT"

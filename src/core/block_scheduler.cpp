@@ -29,9 +29,18 @@ BlockScheduler::remove_walkers(std::uint32_t block, std::uint64_t n)
 std::uint32_t
 BlockScheduler::hottest() const
 {
+    return hottest_excluding(kNoBlock);
+}
+
+std::uint32_t
+BlockScheduler::hottest_excluding(std::uint32_t skip) const
+{
     std::uint32_t best = kNoBlock;
     std::uint64_t best_count = 0;
     for (std::uint32_t b = 0; b < counts_.size(); ++b) {
+        if (b == skip) {
+            continue;
+        }
         if (counts_[b] > best_count) {
             best_count = counts_[b];
             best = b;

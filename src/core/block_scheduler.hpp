@@ -53,6 +53,13 @@ class BlockScheduler {
     std::uint32_t hottest() const;
 
     /**
+     * Hottest block other than @p skip (the prefetch predictor asks
+     * "what comes after the block currently being processed?").
+     * Pass kNoBlock to skip nothing.
+     */
+    std::uint32_t hottest_excluding(std::uint32_t skip) const;
+
+    /**
      * Whether the engine should use fine-grained loads given the
      * number of active walkers.  Sticky once triggered.
      */

@@ -17,6 +17,9 @@ EngineConfig::validate() const
         max_presamples_per_vertex < presamples_per_vertex) {
         throw util::ConfigError("EngineConfig: bad pre-sample quotas");
     }
+    if (step_threads == 0) {
+        throw util::ConfigError("EngineConfig: step_threads must be >= 1");
+    }
     // The fractions apply sequentially (pool from the post-index
     // remainder, pre-samples from what is left after the pool), so
     // each only needs to be a valid fraction on its own.

@@ -55,6 +55,14 @@ struct EngineConfig {
     /** Background loader threads (0 = load synchronously). */
     unsigned loader_threads = 1;
 
+    /**
+     * Intra-block stepping threads (≥ 1).  Each loaded block's bucket
+     * is sharded across this many workers on a persistent pool; walk
+     * output is bit-identical at any value because every walker samples
+     * from a private stream derived from (seed, walker id).
+     */
+    unsigned step_threads = 1;
+
     // --- Fig 14 breakdown knobs (all on = full NosWalker) ---
 
     /** Optimization (1): dynamic walker generation, no state swapping. */

@@ -10,6 +10,16 @@
  * buffers (③); and pre-sample buffers are (re)built from each loaded
  * block with visit-history-proportional quotas (④).
  *
+ * Intra-block compute is parallel: each loaded block's bucket is
+ * sharded across `EngineConfig::step_threads` workers on a persistent
+ * util::ThreadPool.  Every walker carries a private SplitMix64 stream
+ * derived from (run seed, walker id), so trajectories are a pure
+ * function of the seed — walk output is bit-identical at 1, 2, or N
+ * step threads.  Workers accumulate into thread-local StepDelta
+ * records (stats deltas + park buffers) that the scheduler thread
+ * merges in worker-index order after the shard barrier, keeping
+ * BlockScheduler and WalkerPool single-writer.
+ *
  * The Fig 14 breakdown knobs degrade the engine towards the paper's
  * "base implementation": walker_management=false materializes all
  * walkers up front and charges GraphWalker-style swap I/O;
@@ -23,9 +33,11 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/block_scheduler.hpp"
@@ -34,6 +46,7 @@
 #include "core/walker_pool.hpp"
 #include "engine/app.hpp"
 #include "engine/run_stats.hpp"
+#include "engine/walker.hpp"
 #include "engine/walker_spill.hpp"
 #include "graph/graph_file.hpp"
 #include "graph/partition.hpp"
@@ -45,6 +58,7 @@
 #include "util/logging.hpp"
 #include "util/memory_budget.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace noswalker::core {
@@ -61,6 +75,8 @@ template <engine::RandomWalkApp App>
 class NosWalkerEngine {
   public:
     using WalkerT = typename App::WalkerT;
+    /** What the pool parks: the app walker + its sampling stream. */
+    using Record = engine::Stepped<WalkerT>;
     static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
     static constexpr bool kWalkerAware = engine::kIsWalkerAware<App>;
 
@@ -76,8 +92,9 @@ class NosWalkerEngine {
     {
         config_.validate();
         if constexpr (kWalkerAware) {
-            // Shared pre-samples would inject run-wide randomness into
-            // per-walker streams; walker-aware apps forgo them.
+            // Shared pre-samples would make a request's output depend
+            // on what else shares the run; walker-aware apps forgo
+            // them (their contract is batch-composition independence).
             config_.presample = false;
         }
     }
@@ -100,6 +117,14 @@ class NosWalkerEngine {
         shared_cache_ = cache;
     }
 
+    /**
+     * Step on a pool shared with other engines (the walk service hands
+     * every worker the same pool) instead of hiring a private one.
+     * The pool serializes concurrent engines internally.  Pass nullptr
+     * to detach; ignored while step_threads == 1.
+     */
+    void set_step_pool(util::ThreadPool *pool) { external_pool_ = pool; }
+
     /** run() with a per-run seed (per-batch walker injection). */
     engine::RunStats
     run(App &app, std::uint64_t total_walkers, std::uint64_t seed)
@@ -111,7 +136,9 @@ class NosWalkerEngine {
     /**
      * Execute @p total_walkers walkers of @p app to completion.
      *
-     * Deterministic for a fixed (config.seed, app, graph).
+     * Deterministic for a fixed (config.seed, app, graph) — including
+     * across step_threads values: per-walker streams make every
+     * trajectory independent of thread interleaving.
      */
     engine::RunStats
     run(App &app, std::uint64_t total_walkers)
@@ -187,23 +214,46 @@ class NosWalkerEngine {
     }
 
   private:
+    /**
+     * One step worker's private accumulator: stats deltas plus walkers
+     * to park.  Merged into the engine's single-writer structures by
+     * apply_delta() on the scheduler thread, in worker-index order, so
+     * the merge is deterministic.
+     */
+    struct StepDelta {
+        std::uint64_t steps = 0;
+        std::uint64_t block_steps = 0;
+        std::uint64_t presample_steps = 0;
+        std::uint64_t stalls = 0;
+        std::uint64_t retired = 0;
+        std::uint64_t rejection_trials = 0;
+        std::uint64_t rejection_rejected = 0;
+        std::vector<std::pair<std::uint32_t, Record>> parked;
+    };
+
     void
     reset(std::uint64_t total)
     {
         stats_ = engine::RunStats{};
         stats_.engine = "NosWalker";
         stats_.pipelined = true; // set false later in single-buffer mode
-        stats_.io_efficiency = kAsyncIoEfficiency;
-        rng_ = util::Rng(seed_override_.value_or(config_.seed));
+        run_seed_ = seed_override_.value_or(config_.seed);
         seed_override_.reset();
+        // Domain-separated stream root for pre-sample fills so they
+        // never collide with walker streams.
+        presample_seed_ =
+            util::derive_stream(run_seed_, 0x7072652d73616d70ULL);
+        stats_.io_efficiency = kAsyncIoEfficiency;
         total_ = total;
         generated_ = 0;
         buffers_.clear();
+        presample_gen_.clear();
         pool_.reset();
         scheduler_.reset();
         spill_.reset();
         swap_device_.reset();
         presample_bytes_used_ = 0;
+        presample_bytes_total_ = 0;
         local_io_bytes_ = 0;
         local_io_requests_ = 0;
         local_io_seconds_ = 0.0;
@@ -246,32 +296,34 @@ class NosWalkerEngine {
                         : static_cast<std::uint64_t>(
                               config_.walker_memory_fraction *
                               static_cast<double>(rest)) /
-                              sizeof(WalkerT);
+                              sizeof(Record);
                 cap = std::max<std::uint64_t>(
                     64, std::min<std::uint64_t>(by_budget,
                                                 std::uint64_t{1} << 20));
             }
             cap = std::max<std::uint64_t>(1, std::min(cap, total));
-            pool_ = std::make_unique<WalkerPool<WalkerT>>(num_blocks, cap,
-                                                          budget);
+            pool_ = std::make_unique<WalkerPool<Record>>(num_blocks, cap,
+                                                         budget);
         } else {
             // Base-implementation mode: all walker states exist up
             // front; only a bounded buffer is memory-resident and the
             // overflow swaps through a dedicated device (§2.4.2).
             const std::uint64_t buffer_bytes = std::max<std::uint64_t>(
-                sizeof(WalkerT),
+                sizeof(Record),
                 budget.limit() == 0
-                    ? total * sizeof(WalkerT)
+                    ? total * sizeof(Record)
                     : static_cast<std::uint64_t>(
                           config_.walker_memory_fraction *
                           static_cast<double>(rest)));
             const std::uint64_t resident_cap =
-                std::max<std::uint64_t>(1, buffer_bytes / sizeof(WalkerT));
-            pool_ = std::make_unique<WalkerPool<WalkerT>>(
+                std::max<std::uint64_t>(1, buffer_bytes / sizeof(Record));
+            pool_ = std::make_unique<WalkerPool<Record>>(
                 num_blocks, std::max<std::uint64_t>(total, 1), budget,
-                std::min(buffer_bytes, total * sizeof(WalkerT)));
+                std::min(buffer_bytes, total * sizeof(Record)));
             swap_device_ = std::make_unique<storage::MemDevice>(
                 file_->device().model());
+            // Swap traffic is charged per app-walker state: the stream
+            // word is engine bookkeeping, not "vertex data" (§2.4.2).
             spill_ = std::make_unique<engine::WalkerSpill>(
                 *swap_device_, sizeof(WalkerT), resident_cap, num_blocks);
         }
@@ -292,6 +344,21 @@ class NosWalkerEngine {
         }
         budget_ = &budget;
         stats_.pipelined = !single_buffer_;
+
+        if (config_.step_threads > 1) {
+            if (external_pool_ != nullptr) {
+                step_pool_ = external_pool_;
+            } else {
+                if (!owned_pool_ ||
+                    owned_pool_->hired() != config_.step_threads - 1) {
+                    owned_pool_ = std::make_unique<util::ThreadPool>(
+                        config_.step_threads - 1);
+                }
+                step_pool_ = owned_pool_.get();
+            }
+        } else {
+            step_pool_ = nullptr;
+        }
     }
 
     storage::AsyncLoader::Request
@@ -303,8 +370,8 @@ class NosWalkerEngine {
                        scheduler_->fine_mode(pool_->live());
         if (request.fine) {
             request.needed.reserve(pool_->parked(block));
-            for (const WalkerT &w : peek_bucket(block)) {
-                request.needed.push_back(waiting_vertex_of(w));
+            for (const Record &rec : peek_bucket(block)) {
+                request.needed.push_back(waiting_vertex_of(rec));
             }
         }
         return request;
@@ -319,19 +386,7 @@ class NosWalkerEngine {
     std::uint32_t
     choose_block_excluding(std::uint32_t skip) const
     {
-        std::uint32_t best = BlockScheduler::kNoBlock;
-        std::uint64_t best_count = 0;
-        for (std::uint32_t b = 0; b < partition_->num_blocks(); ++b) {
-            if (b == skip) {
-                continue;
-            }
-            const std::uint64_t c = scheduler_->count(b);
-            if (c > best_count) {
-                best_count = c;
-                best = b;
-            }
-        }
-        return best;
+        return scheduler_->hottest_excluding(skip);
     }
 
     void
@@ -351,20 +406,20 @@ class NosWalkerEngine {
     }
 
     /** Bucket view without draining it (fine-mode needed lists). */
-    const std::vector<WalkerT> &
+    const std::vector<Record> &
     peek_bucket(std::uint32_t block) const
     {
         return pool_->bucket_view(block);
     }
 
     graph::VertexId
-    waiting_vertex_of(const WalkerT &w) const
+    waiting_vertex_of(const Record &rec) const
     {
         if constexpr (kSecondOrder) {
-            return app_->has_candidate(w) ? app_->candidate(w)
-                                          : w.location;
+            return app_->has_candidate(rec.w) ? app_->candidate(rec.w)
+                                              : rec.w.location;
         } else {
-            return w.location;
+            return rec.w.location;
         }
     }
 
@@ -376,37 +431,48 @@ class NosWalkerEngine {
         if (!config_.walker_management) {
             // All walkers are materialized once, GraphChi-style.
             while (generated_ < total_) {
-                WalkerT w = app.generate(generated_++);
+                Record rec = make_record(app, generated_);
+                ++generated_;
                 pool_->admit();
-                park(w);
+                park_now(std::move(rec));
             }
             return;
         }
+        std::vector<Record> fresh;
         while (generated_ < total_ && pool_->can_admit()) {
-            WalkerT w = app.generate(generated_++);
-            pool_->admit();
-            chain_move(app, w, resp);
+            fresh.clear();
+            while (generated_ < total_ && pool_->can_admit()) {
+                fresh.push_back(make_record(app, generated_));
+                ++generated_;
+                pool_->admit();
+            }
+            // Stepping the batch retires some walkers, freeing pool
+            // slots for the next admission wave.
+            step_records(app, fresh, resp);
         }
     }
 
-    /** Park @p w at its waiting block and notify the scheduler. */
+    /** Generate walker @p id with its private sampling stream. */
+    Record
+    make_record(App &app, std::uint64_t id)
+    {
+        Record rec;
+        rec.w = app.generate(id);
+        rec.rng_state = util::derive_stream(run_seed_, id);
+        return rec;
+    }
+
+    /** Park @p rec at its waiting block (scheduler thread only). */
     void
-    park(const WalkerT &w)
+    park_now(Record rec)
     {
         const std::uint32_t b =
-            partition_->block_of(waiting_vertex_of(w));
-        pool_->park(b, w);
+            partition_->block_of(waiting_vertex_of(rec));
+        pool_->park(b, rec);
         scheduler_->add_walker(b);
         if (spill_) {
             spill_->park(b, 1);
         }
-    }
-
-    void
-    retire_walker()
-    {
-        pool_->retire();
-        ++stats_.walkers;
     }
 
     /** Build/refill the block's pre-sample buffer from a coarse load. */
@@ -453,17 +519,59 @@ class NosWalkerEngine {
             }
         }
 
-        auto sampler = [&](const graph::VertexView &view) {
-            return app.sample(view, rng_);
-        };
-        for (graph::VertexId v = block.first_vertex; v < block.end_vertex;
-             ++v) {
-            if (fresh->quota(v) == 0) {
-                continue;
-            }
-            fresh->fill_vertex(response.buffer.view(*file_, v), sampler);
-        }
+        fill_buffer(app, response, *fresh);
         buffers_[block.id] = std::move(fresh);
+
+        std::uint64_t now = 0;
+        for (const auto &[id, buf] : buffers_) {
+            now += buf->memory_bytes();
+        }
+        presample_bytes_used_ = std::max(presample_bytes_used_, now);
+    }
+
+    /**
+     * Fill @p fresh from the loaded block, fanned out over the step
+     * pool in fixed-size vertex chunks.  Each chunk samples from a
+     * stream derived from (run seed, block, generation, chunk), so the
+     * buffer contents are independent of the thread count.
+     */
+    void
+    fill_buffer(App &app, const storage::AsyncLoader::Response &response,
+                PreSampleBuffer &fresh)
+    {
+        const graph::BlockInfo &block = *response.block;
+        const std::uint64_t gen = ++presample_gen_[block.id];
+        const std::uint64_t block_seed = util::derive_stream(
+            util::derive_stream(presample_seed_, block.id), gen);
+        constexpr graph::VertexId kChunk = 256;
+        const graph::VertexId nv = block.num_vertices();
+        const std::size_t chunks = (static_cast<std::size_t>(nv) +
+                                    kChunk - 1) / kChunk;
+        const auto fill_chunk = [&](std::size_t c) {
+            util::Rng rng(util::derive_stream(block_seed, c));
+            auto sampler = [&](const graph::VertexView &view) {
+                return app.sample(view, rng);
+            };
+            const graph::VertexId begin =
+                block.first_vertex +
+                static_cast<graph::VertexId>(c) * kChunk;
+            const graph::VertexId end =
+                std::min(block.end_vertex, begin + kChunk);
+            for (graph::VertexId v = begin; v < end; ++v) {
+                if (fresh.quota(v) == 0) {
+                    continue;
+                }
+                fresh.fill_vertex(response.buffer.view(*file_, v),
+                                  sampler);
+            }
+        };
+        if (step_pool_ != nullptr && chunks > 1) {
+            step_pool_->run(chunks, fill_chunk);
+        } else {
+            for (std::size_t c = 0; c < chunks; ++c) {
+                fill_chunk(c);
+            }
+        }
     }
 
     /** Drop the buffer of the block with the fewest waiting walkers. */
@@ -507,60 +615,156 @@ class NosWalkerEngine {
         if (spill_) {
             spill_->activate(id);
         }
-        std::vector<WalkerT> bucket = pool_->take_bucket(id);
+        std::vector<Record> bucket = pool_->take_bucket(id);
         scheduler_->remove_walkers(id, bucket.size());
         if (spill_) {
             spill_->retire(id, bucket.size());
         }
-        for (WalkerT &w : bucket) {
-            chain_move(app, w, &response);
+        step_records(app, bucket, &response);
+    }
+
+    /**
+     * Shards to split @p n walkers into: enough per shard to amortize
+     * the fork-join, a few per thread so uneven chain lengths balance
+     * through the pool's dynamic task claim.
+     */
+    std::size_t
+    shard_count(std::size_t n) const
+    {
+        if (step_pool_ == nullptr) {
+            return 1;
+        }
+        constexpr std::size_t kMinPerShard = 16;
+        const std::size_t by_size = (n + kMinPerShard - 1) / kMinPerShard;
+        return std::min<std::size_t>(
+            by_size, std::size_t{4} * config_.step_threads);
+    }
+
+    /**
+     * Step every record to its next park/retire point, in parallel
+     * when the pool is attached.  Consumes @p records.
+     */
+    void
+    step_records(App &app, std::vector<Record> &records,
+                 const storage::AsyncLoader::Response *resp)
+    {
+        if (records.empty()) {
+            return;
+        }
+        const std::size_t shards = shard_count(records.size());
+        if (shards <= 1) {
+            StepDelta delta;
+            for (Record &rec : records) {
+                chain_move(app, std::move(rec), resp, delta);
+            }
+            apply_delta(delta);
+        } else {
+            std::vector<StepDelta> deltas(shards);
+            const std::size_t per =
+                (records.size() + shards - 1) / shards;
+            step_pool_->run(shards, [&](std::size_t s) {
+                const std::size_t begin = s * per;
+                const std::size_t end =
+                    std::min(records.size(), begin + per);
+                StepDelta &delta = deltas[s];
+                for (std::size_t i = begin; i < end; ++i) {
+                    chain_move(app, std::move(records[i]), resp, delta);
+                }
+            });
+            // Shard barrier passed: merge in worker-index order so the
+            // single-writer structures see a deterministic sequence.
+            for (StepDelta &delta : deltas) {
+                apply_delta(delta);
+            }
+        }
+        records.clear();
+        // Dried reservoirs become visible to the *next* round only:
+        // the drying point is then a function of deterministic
+        // per-round draw totals, not of thread interleaving (and the
+        // sequential path publishes at the same boundary, so output is
+        // identical at any step-thread count).
+        for (auto &[id, buf] : buffers_) {
+            buf->publish_drain();
+        }
+    }
+
+    /** Fold one worker's delta into the engine (scheduler thread). */
+    void
+    apply_delta(StepDelta &delta)
+    {
+        stats_.steps += delta.steps;
+        stats_.block_steps += delta.block_steps;
+        stats_.presample_steps += delta.presample_steps;
+        stats_.stalls += delta.stalls;
+        stats_.rejection_trials += delta.rejection_trials;
+        stats_.rejection_rejected += delta.rejection_rejected;
+        stats_.walkers += delta.retired;
+        pool_->retire_n(delta.retired);
+        for (auto &[block, rec] : delta.parked) {
+            pool_->park(block, rec);
+            scheduler_->add_walker(block);
+            if (spill_) {
+                spill_->park(block, 1);
+            }
         }
     }
 
     /**
-     * Move @p w as far as in-memory data allows (re-entry + pre-sample
-     * chains), then park or retire it.
+     * Move @p rec as far as in-memory data allows (re-entry + pre-
+     * sample chains), then record its park or retirement in @p delta.
+     * Runs on step workers: touches only read-only engine state, the
+     * walker itself, pre-sample atomics, and @p delta.
      */
     void
-    chain_move(App &app, WalkerT w,
-               const storage::AsyncLoader::Response *resp)
+    chain_move(App &app, Record rec,
+               const storage::AsyncLoader::Response *resp,
+               StepDelta &delta)
     {
         const storage::BlockBuffer *buf =
             resp != nullptr ? &resp->buffer : nullptr;
         for (;;) {
             if constexpr (kSecondOrder) {
-                if (app.has_candidate(w)) {
-                    if (!resolve_candidate(app, w, buf)) {
-                        park(w);
+                if (app.has_candidate(rec.w)) {
+                    if (!resolve_candidate(app, rec, buf, delta)) {
+                        park_into(std::move(rec), delta);
                         return;
                     }
-                    if (!app.active(w)) {
-                        retire_walker();
+                    if (!app.active(rec.w)) {
+                        ++delta.retired;
                         return;
                     }
                     continue;
                 }
             }
-            if (!app.active(w)) {
-                retire_walker();
+            if (!app.active(rec.w)) {
+                ++delta.retired;
                 return;
             }
-            const graph::VertexId v = w.location;
+            const graph::VertexId v = rec.w.location;
             if (file_->degree(v) == 0) {
                 // Dead end: the walk cannot continue (no out-edges).
-                retire_walker();
+                ++delta.retired;
                 return;
             }
-            if (!advance_once(app, w, v, buf)) {
-                ++stats_.stalls;
-                park(w);
+            if (!advance_once(app, rec, v, buf, delta)) {
+                ++delta.stalls;
+                park_into(std::move(rec), delta);
                 return;
             }
         }
     }
 
+    /** Defer parking to the post-barrier merge (thread-local buffer). */
+    void
+    park_into(Record rec, StepDelta &delta)
+    {
+        const std::uint32_t b =
+            partition_->block_of(waiting_vertex_of(rec));
+        delta.parked.emplace_back(b, std::move(rec));
+    }
+
     /**
-     * Try to move @p w one step using resident data.
+     * Try to move @p rec one step using resident data.
      *
      * use_loaded_block (§3.3.5) controls the *priority*: when on, the
      * currently loaded block serves the walker before any reserved
@@ -571,17 +775,19 @@ class NosWalkerEngine {
      * @return false when neither source can serve vertex @p v.
      */
     bool
-    advance_once(App &app, WalkerT &w, graph::VertexId v,
-                 const storage::BlockBuffer *buf)
+    advance_once(App &app, Record &rec, graph::VertexId v,
+                 const storage::BlockBuffer *buf, StepDelta &delta)
     {
-        if (config_.use_loaded_block && move_via_block(app, w, v, buf)) {
+        if (config_.use_loaded_block &&
+            move_via_block(app, rec, v, buf, delta)) {
             return true;
         }
-        if (config_.presample && move_via_presamples(app, w, v)) {
+        if (config_.presample &&
+            move_via_presamples(app, rec, v, delta)) {
             return true;
         }
         if (!config_.use_loaded_block &&
-            move_via_block(app, w, v, buf)) {
+            move_via_block(app, rec, v, buf, delta)) {
             return true;
         }
         return false;
@@ -589,34 +795,37 @@ class NosWalkerEngine {
 
     /** One step from the loaded block's adjacency, if resident. */
     bool
-    move_via_block(App &app, WalkerT &w, graph::VertexId v,
-                   const storage::BlockBuffer *buf)
+    move_via_block(App &app, Record &rec, graph::VertexId v,
+                   const storage::BlockBuffer *buf, StepDelta &delta)
     {
         if (buf == nullptr || buf->info() == nullptr ||
             !buf->info()->contains(v) || !buf->vertex_loaded(*file_, v)) {
             return false;
         }
         const graph::VertexView view = buf->view(*file_, v);
+        util::Rng rng(util::splitmix_next(rec.rng_state));
         graph::VertexId next;
         if constexpr (kWalkerAware) {
-            next = app.sample_for(w, view);
+            next = app.sample_for(rec.w, view);
         } else {
-            next = app.sample(view, rng_);
+            next = app.sample(view, rng);
         }
-        app.action(w, next, rng_);
-        ++stats_.block_steps;
-        count_step();
+        app.action(rec.w, next, rng);
+        ++delta.block_steps;
+        count_step(delta);
         return true;
     }
 
-    /** One step from the reserved pre-samples, if any remain. */
+    /** One step from the reserved pre-samples, if the buffer holds
+     *  this generation's reservoir for @p v. */
     bool
-    move_via_presamples(App &app, WalkerT &w, graph::VertexId v)
+    move_via_presamples(App &app, Record &rec, graph::VertexId v,
+                        StepDelta &delta)
     {
         if constexpr (kWalkerAware) {
             // Never reached (the constructor forces presample off), but
-            // guard anyway: shared samples would break per-walker
-            // determinism.
+            // guard anyway: shared samples would break the walker-aware
+            // batch-composition-independence contract.
             return false;
         }
         PreSampleBuffer *ps = find_presamples(partition_->block_of(v));
@@ -625,19 +834,23 @@ class NosWalkerEngine {
         }
         if (ps->is_direct(v)) {
             const graph::VertexView view = ps->direct_view(v);
-            const graph::VertexId next = app.sample(view, rng_);
-            app.action(w, next, rng_);
-            ++stats_.presample_steps;
-            count_step();
+            util::Rng rng(util::splitmix_next(rec.rng_state));
+            const graph::VertexId next = app.sample(view, rng);
+            app.action(rec.w, next, rng);
+            ++delta.presample_steps;
+            count_step(delta);
             return true;
         }
         if (ps->has(v)) {
-            const graph::VertexId next = ps->top(v);
-            if (app.action(w, next, rng_)) {
-                ps->pop(v);
+            // The walker's own stream picks the slot, so the step is
+            // identical no matter which thread executes it.
+            util::Rng rng(util::splitmix_next(rec.rng_state));
+            const graph::VertexId next = ps->sample(v, rng);
+            if (app.action(rec.w, next, rng)) {
+                ps->consume(v);
             }
-            ++stats_.presample_steps;
-            count_step();
+            ++delta.presample_steps;
+            count_step(delta);
             return true;
         }
         ps->record_visit(v);
@@ -645,26 +858,26 @@ class NosWalkerEngine {
     }
 
     void
-    count_step()
+    count_step(StepDelta &delta)
     {
         if constexpr (!kSecondOrder) {
-            ++stats_.steps;
+            ++delta.steps;
         }
         // Second-order: a step completes only when a candidate is
         // accepted (counted in resolve_candidate).
     }
 
     /**
-     * Second order: resolve the pending rejection trial of @p w if the
-     * candidate's adjacency is resident.
+     * Second order: resolve the pending rejection trial of @p rec if
+     * the candidate's adjacency is resident.
      * @return false when the candidate's data is not available.
      */
     bool
-    resolve_candidate(App &app, WalkerT &w,
-                      const storage::BlockBuffer *buf)
+    resolve_candidate(App &app, Record &rec,
+                      const storage::BlockBuffer *buf, StepDelta &delta)
     {
         static_assert(kSecondOrder);
-        const graph::VertexId c = app.candidate(w);
+        const graph::VertexId c = app.candidate(rec.w);
         graph::VertexView view;
         bool have = false;
         if (buf != nullptr && buf->info() != nullptr &&
@@ -682,11 +895,12 @@ class NosWalkerEngine {
         if (!have) {
             return false;
         }
-        ++stats_.rejection_trials;
-        if (app.rejection(w, view, rng_)) {
-            ++stats_.steps;
+        ++delta.rejection_trials;
+        util::Rng rng(util::splitmix_next(rec.rng_state));
+        if (app.rejection(rec.w, view, rng)) {
+            ++delta.steps;
         } else {
-            ++stats_.rejection_rejected;
+            ++delta.rejection_rejected;
         }
         return true;
     }
@@ -720,6 +934,8 @@ class NosWalkerEngine {
         }
         stats_.cpu_seconds = cpu_seconds;
         stats_.peak_memory = budget.peak();
+        stats_.presample_bytes_used = presample_bytes_used_;
+        stats_.presample_bytes_total = presample_bytes_total_;
         buffers_.clear();
         pool_.reset();
         index_rsv_.release();
@@ -731,10 +947,11 @@ class NosWalkerEngine {
     EngineConfig config_;
     App *app_ = nullptr;
 
-    util::Rng rng_{42};
     engine::RunStats stats_;
     std::uint64_t total_ = 0;
     std::uint64_t generated_ = 0;
+    std::uint64_t run_seed_ = 0;
+    std::uint64_t presample_seed_ = 0;
     std::optional<std::uint64_t> seed_override_;
 
     util::MemoryBudget *shared_budget_ = nullptr;
@@ -749,10 +966,18 @@ class NosWalkerEngine {
     util::Reservation index_rsv_;
     util::Reservation buffer_rsv_;
 
-    std::unique_ptr<WalkerPool<WalkerT>> pool_;
+    /** Persistent private step pool (survives reset/finalize so the
+     *  hire cost is paid once per engine, not per run). */
+    std::unique_ptr<util::ThreadPool> owned_pool_;
+    util::ThreadPool *external_pool_ = nullptr;
+    util::ThreadPool *step_pool_ = nullptr;
+
+    std::unique_ptr<WalkerPool<Record>> pool_;
     std::unique_ptr<BlockScheduler> scheduler_;
     std::unordered_map<std::uint32_t, std::unique_ptr<PreSampleBuffer>>
         buffers_;
+    /** Rebuild generation per block (names the fill streams). */
+    std::unordered_map<std::uint32_t, std::uint64_t> presample_gen_;
     std::uint64_t presample_bytes_total_ = 0;
     std::uint64_t presample_per_block_ = 0;
     std::uint64_t presample_bytes_used_ = 0;

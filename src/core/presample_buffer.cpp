@@ -16,14 +16,18 @@ PreSampleBuffer::PreSampleBuffer(const graph::GraphFile &file,
 {
     const graph::VertexId nv = block.num_vertices();
     idx_.assign(static_cast<std::size_t>(nv) + 1, 0);
-    cnt_.assign(nv, 0);
+    // Atomics are neither copyable nor movable element-wise; construct
+    // a fresh zero-initialized vector and move the buffer in.
+    cnt_ = std::vector<std::atomic<std::uint32_t>>(nv);
+    snap_.assign(nv, 0);
     direct_.assign(nv, 0);
     filled_.assign(nv, 0);
 
     const std::uint64_t meta_bytes =
         idx_.capacity() * sizeof(std::uint32_t) +
-        cnt_.capacity() * sizeof(std::uint32_t) + direct_.capacity() +
-        filled_.capacity();
+        cnt_.capacity() * sizeof(std::atomic<std::uint32_t>) +
+        snap_.capacity() * sizeof(std::uint32_t) +
+        direct_.capacity() + filled_.capacity();
     const std::uint32_t slot_bytes =
         sizeof(graph::VertexId) +
         (weighted_ ? sizeof(graph::Weight) : 0u);
@@ -53,7 +57,7 @@ PreSampleBuffer::PreSampleBuffer(const graph::GraphFile &file,
             const std::uint32_t hist =
                 previous != nullptr &&
                         previous->first_vertex_ == first_vertex_
-                    ? previous->cnt_[i]
+                    ? previous->cnt_[i].load(std::memory_order_relaxed)
                     : 0;
             weight[i] = 1 + hist;
             total_weight += weight[i];

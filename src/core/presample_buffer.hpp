@@ -9,6 +9,25 @@
  * doubles as the visit-frequency estimate the rebuild step uses to
  * reallocate quotas proportionally.
  *
+ * Consumption model: a filled vertex's slots form a bootstrap
+ * reservoir for the current buffer generation — each walker draws a
+ * slot *with replacement* using its own deterministic RNG stream, and
+ * consume() advances an atomic per-vertex cursor.  Drawing from the
+ * walker's stream instead of handing out slots in arrival order is
+ * what makes walk output independent of how walkers interleave across
+ * step threads.  Drying is *snapshot-published*: has() compares the
+ * vertex's quota against a drain snapshot that publish_drain() copies
+ * from the live cursors, and the engine publishes only at shard
+ * barriers (between step rounds).  Every walker in a round therefore
+ * sees the same availability state — the round in which a vertex runs
+ * dry depends on deterministic per-round draw totals, never on thread
+ * interleaving — while a dried vertex still stalls walkers until its
+ * block reloads and a fresh generation re-samples it, bounding how
+ * long any reservoir can serve (the paper's §3.3.2 consume-once queue
+ * gives the same bound; the with-replacement + snapshot variant trades
+ * a small per-round overshoot for thread-count determinism; see
+ * DESIGN.md).
+ *
  * Low-degree vertices (§3.3.4) get their full edge list "reserved"
  * instead of samples: their slots hold the real adjacency (plus weights
  * on weighted graphs) and never run dry — the engine re-samples from
@@ -16,6 +35,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -51,7 +71,8 @@ class PreSampleBuffer {
      * @throws util::BudgetExceeded when even the meta array cannot fit.
      *
      * After construction the buffer is *planned but unfilled*: the
-     * engine streams the block once and calls fill_vertex per vertex.
+     * engine streams the block once and calls fill_vertex per vertex
+     * (different vertices may be filled from different threads).
      */
     PreSampleBuffer(const graph::GraphFile &file,
                     const graph::BlockInfo &block, const BuildParams &params,
@@ -82,7 +103,8 @@ class PreSampleBuffer {
     /**
      * Fill vertex @p v's slots from its loaded adjacency.
      * Direct vertices copy edges (and weights); sampled vertices invoke
-     * @p sampler quota times.  @p sampler is `app.sample` bound to rng.
+     * @p sampler quota times.  @p sampler is `app.sample` bound to an
+     * rng.  Thread safe across *distinct* vertices (disjoint ranges).
      */
     template <typename Sampler>
     void
@@ -93,7 +115,7 @@ class PreSampleBuffer {
         if (slots == 0) {
             return;
         }
-        cnt_[i] = 0;
+        cnt_[i].store(0, std::memory_order_relaxed);
         filled_[i] = 1;
         graph::VertexId *out = edges_.data() + idx_[i];
         if (direct_[i]) {
@@ -113,19 +135,37 @@ class PreSampleBuffer {
         }
     }
 
-    /** True when @p v has been filled and holds an unconsumed sample
-     *  (or is direct, in which case it never runs dry). */
+    /**
+     * True when @p v can serve a draw: filled this generation and not
+     * yet dry *as of the last published drain snapshot*.  Direct
+     * vertices never dry (they hold the real adjacency, §3.3.4).
+     */
     bool
     has(graph::VertexId v) const
     {
         const std::size_t i = index_of(v);
-        if (!filled_[i]) {
+        if (filled_[i] == 0) {
             return false;
         }
         if (direct_[i]) {
             return true;
         }
-        return idx_[i] + cnt_[i] < idx_[i + 1];
+        return snap_[i] < idx_[i + 1] - idx_[i];
+    }
+
+    /**
+     * Publish the live consumption cursors into the drain snapshot
+     * has() consults.  Scheduler thread only, between step rounds: the
+     * pool's fork-join barrier orders these plain writes against the
+     * workers' reads, and round-granular visibility is what keeps the
+     * drying point identical at any step-thread count.
+     */
+    void
+    publish_drain()
+    {
+        for (std::size_t i = 0; i < snap_.size(); ++i) {
+            snap_[i] = cnt_[i].load(std::memory_order_relaxed);
+        }
     }
 
     /** True when @p v's full edge list is reserved (§3.3.4). */
@@ -142,43 +182,56 @@ class PreSampleBuffer {
      */
     graph::VertexView direct_view(graph::VertexId v) const;
 
-    /** Next pre-sample of @p v. @pre has(v) && !is_direct(v). */
+    /**
+     * Draw one pre-sample of @p v using the walker's own stream.
+     * @pre has(v) && !is_direct(v).
+     */
     graph::VertexId
-    top(graph::VertexId v) const
+    sample(graph::VertexId v, util::Rng &rng) const
     {
         const std::size_t i = index_of(v);
-        return edges_[idx_[i] + cnt_[i]];
+        const std::uint32_t begin = idx_[i];
+        const std::uint32_t n = idx_[i + 1] - begin;
+        return edges_[begin + rng.next_index(n)];
     }
 
-    /** Consume the sample top(v) returned. */
+    /** Account one consumed draw of @p v (thread safe). */
     void
-    pop(graph::VertexId v)
+    consume(graph::VertexId v)
     {
-        ++cnt_[index_of(v)];
-        ++consumed_;
+        cnt_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+        consumed_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    /** Fraction of allocated (non-direct) slots consumed so far. */
+    /** Fraction of allocated (non-direct) slots consumed so far (may
+     *  exceed 1: draws are with replacement). */
     double
     consumed_fraction() const
     {
         const std::uint64_t slots = edges_.size();
-        return slots == 0 ? 1.0
-                          : static_cast<double>(consumed_) /
-                                static_cast<double>(slots);
+        return slots == 0
+                   ? 1.0
+                   : static_cast<double>(
+                         consumed_.load(std::memory_order_relaxed)) /
+                         static_cast<double>(slots);
     }
 
-    /** Record a visit that found no sample (stall); feeds the history. */
+    /** Record a visit that found no sample (stall); feeds the history.
+     *  Thread safe. */
     void
     record_visit(graph::VertexId v)
     {
-        ++cnt_[index_of(v)];
-        ++stalled_;
+        cnt_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+        stalled_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /** Stall visits since this buffer generation was built — the
      *  unmet-demand signal the engine's rebuild heuristic uses. */
-    std::uint64_t stall_count() const { return stalled_; }
+    std::uint64_t
+    stall_count() const
+    {
+        return stalled_.load(std::memory_order_relaxed);
+    }
 
     /** Total slots allocated in this generation. */
     std::uint64_t slot_count() const { return edges_.size(); }
@@ -187,7 +240,7 @@ class PreSampleBuffer {
     std::uint32_t
     visits(graph::VertexId v) const
     {
-        return cnt_[index_of(v)];
+        return cnt_[index_of(v)].load(std::memory_order_relaxed);
     }
 
     /** Bytes reserved against the budget. */
@@ -203,14 +256,17 @@ class PreSampleBuffer {
     std::uint32_t block_id_ = 0;
     graph::VertexId first_vertex_ = 0;
     bool weighted_ = false;
-    std::vector<std::uint32_t> idx_;     ///< size nv+1
-    std::vector<std::uint32_t> cnt_;     ///< consumed + stall visits
+    std::vector<std::uint32_t> idx_; ///< size nv+1
+    /** Consumed draws + stall visits per vertex (atomic cursors). */
+    std::vector<std::atomic<std::uint32_t>> cnt_;
+    /** Drain snapshot has() reads (see publish_drain). */
+    std::vector<std::uint32_t> snap_;
     std::vector<std::uint8_t> direct_;   ///< full-edge reservation flag
     std::vector<std::uint8_t> filled_;   ///< fill_vertex completed
     std::vector<graph::VertexId> edges_; ///< slot storage
     std::vector<graph::Weight> dweights_; ///< weights for direct slots
-    std::uint64_t consumed_ = 0; ///< total pops (drain estimate)
-    std::uint64_t stalled_ = 0;  ///< stall visits since build
+    std::atomic<std::uint64_t> consumed_{0}; ///< total draws (drain estimate)
+    std::atomic<std::uint64_t> stalled_{0};  ///< stall visits since build
     util::Reservation reservation_;
 };
 

@@ -75,6 +75,14 @@ class WalkerPool {
         --live_;
     }
 
+    /** Retire @p n in-flight walkers at once (parallel-step merge). */
+    void
+    retire_n(std::uint64_t n)
+    {
+        NOSWALKER_CHECK(live_ >= n);
+        live_ -= n;
+    }
+
     /** Walkers currently parked in @p block. */
     std::uint64_t
     parked(std::uint32_t block) const

@@ -59,6 +59,10 @@ RunStats::operator+=(const RunStats &other)
     pipelined = pipelined || other.pipelined;
     io_efficiency = std::max(io_efficiency, other.io_efficiency);
     peak_memory = std::max(peak_memory, other.peak_memory);
+    presample_bytes_used =
+        std::max(presample_bytes_used, other.presample_bytes_used);
+    presample_bytes_total =
+        std::max(presample_bytes_total, other.presample_bytes_total);
     return *this;
 }
 
@@ -108,7 +112,9 @@ RunStats::to_string() const
         << " eff=" << io_efficiency << " modeled_s=" << modeled_seconds()
         << " wall_s=" << wall_seconds << "\n"
         << "  edges/step=" << edges_per_step()
-        << " steps/s=" << step_rate() << " peak_mem=" << peak_memory;
+        << " steps/s=" << step_rate() << " peak_mem=" << peak_memory
+        << " ps_mem=" << presample_bytes_used << "/"
+        << presample_bytes_total;
     return out.str();
 }
 

@@ -65,6 +65,12 @@ struct RunStats {
     /** Peak bytes held against the memory budget. */
     std::uint64_t peak_memory = 0;
 
+    /** Peak bytes actually held by pre-sample buffers (Fig 14's
+     *  "reserve memory for pre-sampling" cost, measured not planned). */
+    std::uint64_t presample_bytes_used = 0;
+    /** Byte budget granted to the pre-sample pool (0 = pool off). */
+    std::uint64_t presample_bytes_total = 0;
+
     /** Modeled end-to-end seconds (policy above). */
     double modeled_seconds() const;
 

@@ -36,4 +36,20 @@ struct SecondOrderWalker {
     float h = 0.0f;
 };
 
+/**
+ * Engine-side wrapper pairing an application walker with its private
+ * sampling stream (SplitMix64 state, one advance per sampling event).
+ *
+ * The stream is derived from (run seed, walker id) at generation time,
+ * so a walker's trajectory is a pure function of the seed and the
+ * graph — independent of how walkers interleave across step threads.
+ * This generalizes the WalkerAware apps' per-walker seeding to every
+ * application.
+ */
+template <typename WalkerT>
+struct Stepped {
+    WalkerT w;
+    std::uint64_t rng_state = 0;
+};
+
 } // namespace noswalker::engine

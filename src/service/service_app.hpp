@@ -12,7 +12,10 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +40,13 @@ class ServiceWalkApp {
   public:
     using WalkerT = ServiceWalker;
 
-    /** Per-request state and output accumulators. */
+    /** Per-request state and output accumulators.
+     *
+     * action() may run concurrently on engine step threads, so the
+     * shared accumulators are protected: steps_taken is bumped through
+     * std::atomic_ref and the visits map behind a per-slot mutex.
+     * endpoints/paths need nothing — each walker owns its own element.
+     */
     struct Slot {
         const WalkRequest *request = nullptr;
         /** First walker id of this slot (fence; cumulative). */
@@ -50,6 +59,9 @@ class ServiceWalkApp {
         std::vector<graph::VertexId> endpoints;
         std::vector<std::vector<graph::VertexId>> paths;
         std::unordered_map<graph::VertexId, std::uint64_t> visits;
+        /** Guards visits (unique_ptr keeps Slot movable). */
+        std::unique_ptr<std::mutex> visits_mutex =
+            std::make_unique<std::mutex>();
     };
 
     /** Append @p request to the batch. @p request must outlive the app. */
@@ -90,9 +102,7 @@ class ServiceWalkApp {
         w.step = 0;
         // Decorrelate per-walk streams: seed ^ golden-ratio-spread walk
         // index, then one mixing round.
-        w.rng_state =
-            util::SplitMix64(req.seed ^
-                             (k * 0x9e3779b97f4a7c15ULL + 1)).next();
+        w.rng_state = util::derive_stream(req.seed, k);
         if (req.kind == WalkKind::kEndpoints) {
             slot.endpoints[k] = start;
         } else if (req.kind == WalkKind::kPaths) {
@@ -116,10 +126,7 @@ class ServiceWalkApp {
     graph::VertexId
     sample_for(WalkerT &w, const graph::VertexView &view)
     {
-        std::uint64_t z = (w.rng_state += 0x9e3779b97f4a7c15ULL);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        z ^= z >> 31;
+        const std::uint64_t z = util::splitmix_next(w.rng_state);
         const Slot &slot = slot_of(w.id);
         if (slot.request->weighted) {
             util::Rng rng(z);
@@ -144,7 +151,8 @@ class ServiceWalkApp {
         const std::uint64_t k = w.id - slot.first_walker;
         w.location = next;
         ++w.step;
-        ++slot.steps_taken;
+        std::atomic_ref<std::uint64_t>(slot.steps_taken)
+            .fetch_add(1, std::memory_order_relaxed);
         switch (slot.request->kind) {
         case WalkKind::kEndpoints:
             slot.endpoints[k] = next;
@@ -152,9 +160,11 @@ class ServiceWalkApp {
         case WalkKind::kPaths:
             slot.paths[k].push_back(next);
             break;
-        case WalkKind::kVisitCounts:
+        case WalkKind::kVisitCounts: {
+            std::lock_guard<std::mutex> lock(*slot.visits_mutex);
             ++slot.visits[next];
             break;
+        }
         }
         return true;
     }

@@ -44,6 +44,15 @@ struct ServiceConfig {
     /** Background loader threads per engine (0 = synchronous loads). */
     unsigned loader_threads = 1;
 
+    /**
+     * Intra-block stepping threads (≥ 1).  All workers' engines share
+     * one persistent util::ThreadPool sized step_threads − 1 (engines
+     * serialize on it), so the service never oversubscribes the host
+     * with num_workers × step_threads threads.  Results are unchanged
+     * by this knob (per-walker streams).
+     */
+    unsigned step_threads = 1;
+
     /** Engine walker-pool cap per run (0 = derive from the budget). */
     std::uint64_t max_walkers = 0;
 

@@ -31,6 +31,9 @@ ServiceConfig::validate() const
     if (num_workers == 0) {
         throw util::ConfigError("service: num_workers must be >= 1");
     }
+    if (step_threads == 0) {
+        throw util::ConfigError("service: step_threads must be >= 1");
+    }
     if (max_batch == 0) {
         throw util::ConfigError("service: max_batch must be >= 1");
     }
@@ -80,11 +83,13 @@ class BatchRunner {
     BatchRunner(const graph::GraphFile &file,
                 const graph::BlockPartition &partition,
                 const ServiceConfig &config, util::MemoryBudget *budget,
-                storage::SharedBlockCache *cache)
+                storage::SharedBlockCache *cache,
+                util::ThreadPool *step_pool)
         : engine_(file, partition, engine_config(config))
     {
         engine_.set_shared_budget(budget);
         engine_.set_shared_cache(cache);
+        engine_.set_step_pool(step_pool);
     }
 
     engine::RunStats
@@ -105,6 +110,7 @@ class BatchRunner {
         ec.block_bytes = config.block_bytes;
         ec.loader_threads = config.loader_threads;
         ec.max_walkers = config.max_walkers;
+        ec.step_threads = config.step_threads;
         return ec;
     }
 
@@ -123,6 +129,10 @@ WalkService::WalkService(const graph::GraphFile &file,
         cache_ = std::make_unique<storage::SharedBlockCache>(
             config_.cache_bytes,
             budget_.limit() != 0 ? &budget_ : nullptr);
+    }
+    if (config_.step_threads > 1) {
+        step_pool_ =
+            std::make_unique<util::ThreadPool>(config_.step_threads - 1);
     }
     min_footprint_ = min_run_footprint(file, partition);
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -144,7 +154,8 @@ WalkService::min_run_footprint(const graph::GraphFile &file,
     const std::uint64_t page = storage::BlockReader::kPageBytes;
     const std::uint64_t aligned =
         (partition.max_block_bytes() / page + 2) * page;
-    return file.index_bytes() + aligned + 64 * sizeof(ServiceWalker);
+    return file.index_bytes() + aligned +
+           64 * sizeof(engine::Stepped<ServiceWalker>);
 }
 
 std::uint64_t
@@ -391,7 +402,7 @@ WalkService::worker_loop(unsigned worker_index)
 {
     (void)worker_index;
     BatchRunner runner(*file_, *partition_, config_, &budget_,
-                       cache_.get());
+                       cache_.get(), step_pool_.get());
     while (auto batch = batch_queue_.pop()) {
         run_batch(*batch, runner);
     }

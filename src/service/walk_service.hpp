@@ -42,6 +42,7 @@
 #include "storage/shared_block_cache.hpp"
 #include "util/blocking_queue.hpp"
 #include "util/memory_budget.hpp"
+#include "util/thread_pool.hpp"
 
 namespace noswalker::service {
 
@@ -168,6 +169,9 @@ class WalkService {
 
     util::MemoryBudget budget_;
     std::unique_ptr<storage::SharedBlockCache> cache_;
+    /** One step pool shared by every worker's engine (null when
+     *  step_threads == 1); engines serialize their fork-joins on it. */
+    std::unique_ptr<util::ThreadPool> step_pool_;
     std::uint64_t min_footprint_ = 0;
 
     util::BlockingQueue<Pending> submit_queue_;

@@ -15,6 +15,36 @@
 namespace noswalker::util {
 
 /**
+ * One SplitMix64 output step on an externally held state word.
+ *
+ * The engine threads a bare 64-bit stream state through each walker
+ * record (see core::NosWalkerEngine); this is the per-event advance.
+ */
+inline std::uint64_t
+splitmix_next(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Initial stream state for entity @p id under master @p seed.
+ *
+ * Mixing the id through the golden-ratio increment before hashing keeps
+ * nearby ids (walker 0, 1, 2, …) on well-separated streams.  The same
+ * derivation chains: derive_stream(derive_stream(s, a), b) names a
+ * stream for the pair (a, b).
+ */
+inline std::uint64_t
+derive_stream(std::uint64_t seed, std::uint64_t id)
+{
+    std::uint64_t state = seed ^ (id * 0x9e3779b97f4a7c15ULL + 1);
+    return splitmix_next(state);
+}
+
+/**
  * SplitMix64 generator.
  *
  * Used to expand a single 64-bit seed into the larger state of
@@ -25,14 +55,7 @@ class SplitMix64 {
     explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
     /** Next 64-bit value. */
-    std::uint64_t
-    next()
-    {
-        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        return z ^ (z >> 31);
-    }
+    std::uint64_t next() { return splitmix_next(state_); }
 
   private:
     std::uint64_t state_;

@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+namespace noswalker::util {
+
+ThreadPool::ThreadPool(unsigned hired_threads)
+{
+    threads_.reserve(hired_threads);
+    for (unsigned t = 0; t < hired_threads; ++t) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : threads_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::drain(const std::function<void(std::size_t)> &task)
+{
+    for (;;) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_tasks_) {
+            return;
+        }
+        try {
+            task(i);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                if (!first_error_) {
+                    first_error_ = std::current_exception();
+                }
+            }
+            // Abandon unclaimed indices: push the counter past the end
+            // so every thread falls out of its claim loop promptly.
+            next_.store(num_tasks_, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::worker_loop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *task = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+            task = task_;
+        }
+        drain(*task);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0) {
+                done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::run(std::size_t num_tasks,
+                const std::function<void(std::size_t)> &task)
+{
+    if (num_tasks == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    first_error_ = nullptr;
+    next_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        num_tasks_ = num_tasks;
+        active_ = hired();
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    drain(task); // the caller is a worker too
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return active_ == 0; });
+        task_ = nullptr;
+    }
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace noswalker::util

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Persistent fork-join worker pool for intra-block walker stepping.
+ *
+ * The pool is deliberately minimal: run(n, task) executes task(0..n-1)
+ * across the hired threads *and the calling thread*, returning only
+ * when every index has finished (the join is the engine's shard
+ * barrier).  Tasks are claimed from a shared atomic counter, so uneven
+ * shards load-balance dynamically.  The pool is persistent — threads
+ * are hired once and reused across run() calls (and across engine
+ * runs), avoiding per-block thread spawn cost.
+ *
+ * run() serializes concurrent callers internally, so one pool can be
+ * shared by several engines (the walk service hands every BatchRunner
+ * the same pool); callers simply queue behind each other.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace noswalker::util {
+
+/** Fixed-size fork-join pool; the caller participates in every run. */
+class ThreadPool {
+  public:
+    /**
+     * Hire @p hired_threads workers (may be 0: run() then executes
+     * everything on the calling thread, which keeps single-threaded
+     * configurations free of synchronization).
+     */
+    explicit ThreadPool(unsigned hired_threads);
+
+    /** Joins all workers. @pre no run() is in flight. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers hired (excluding the participating caller). */
+    unsigned hired() const { return static_cast<unsigned>(threads_.size()); }
+
+    /**
+     * Execute task(i) for every i in [0, num_tasks) and wait for all of
+     * them (fork-join barrier).  Thread safe: concurrent callers are
+     * serialized.
+     *
+     * If a task throws, the first exception is captured, remaining
+     * unclaimed indices are abandoned, and the exception is rethrown
+     * here after the barrier.
+     */
+    void run(std::size_t num_tasks,
+             const std::function<void(std::size_t)> &task);
+
+  private:
+    void worker_loop();
+
+    /** Claim and execute indices until the counter runs out. */
+    void drain(const std::function<void(std::size_t)> &task);
+
+    std::mutex run_mutex_; ///< serializes concurrent run() callers
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t num_tasks_ = 0;
+    std::uint64_t generation_ = 0;
+    unsigned active_ = 0;
+    bool stop_ = false;
+
+    std::atomic<std::size_t> next_{0};
+
+    std::mutex error_mutex_;
+    std::exception_ptr first_error_;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace noswalker::util

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The tentpole guarantee of the parallel stepping path: walk output is
+ * bit-identical at 1, 2, and 8 step threads, because every trajectory
+ * is a pure function of (run seed, walker id) and pre-sample drying is
+ * published at round granularity.
+ *
+ * The recording apps here are thread safe the way service apps are:
+ * each walker owns a private endpoint slot, and visit counters are
+ * atomic.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/node2vec.hpp"
+#include "core/noswalker_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "recording_app.hpp"
+#include "storage/mem_device.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker {
+namespace {
+
+/** First-order uniform walk recording endpoints + visit counts. */
+class ConcurrentRecordingWalk {
+  public:
+    using WalkerT = engine::Walker;
+
+    ConcurrentRecordingWalk(std::uint32_t length,
+                            graph::VertexId num_vertices,
+                            std::uint64_t num_walkers)
+        : endpoints(num_walkers, graph::kInvalidVertex),
+          visits(num_vertices), length_(length),
+          num_vertices_(num_vertices)
+    {
+    }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        util::SplitMix64 mix(n * 31 + 5);
+        return WalkerT{
+            n, static_cast<graph::VertexId>(mix.next() % num_vertices_),
+            0};
+    }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_uniform(rng);
+    }
+
+    bool active(const WalkerT &w) const { return w.step < length_; }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &)
+    {
+        w.location = next;
+        ++w.step;
+        endpoints[w.id] = next;
+        visits[next].fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    std::vector<graph::VertexId> endpoints;
+    std::vector<std::atomic<std::uint32_t>> visits;
+
+  private:
+    std::uint32_t length_;
+    graph::VertexId num_vertices_;
+};
+
+static_assert(engine::RandomWalkApp<ConcurrentRecordingWalk>);
+
+/** Node2Vec wrapper recording the endpoint of every accepted move. */
+class RecordingNode2Vec {
+  public:
+    using WalkerT = apps::Node2Vec::WalkerT;
+
+    RecordingNode2Vec(double p, double q, std::uint32_t length,
+                      graph::VertexId num_vertices,
+                      std::uint32_t walks_per_vertex)
+        : inner_(p, q, length, num_vertices, walks_per_vertex)
+    {
+        // inner_ is declared after the public vectors; size them here,
+        // once every member is constructed.
+        endpoints.assign(inner_.total_walkers(), graph::kInvalidVertex);
+    }
+
+    std::uint64_t total_walkers() const { return inner_.total_walkers(); }
+
+    WalkerT generate(std::uint64_t n) { return inner_.generate(n); }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return inner_.sample(view, rng);
+    }
+
+    bool active(const WalkerT &w) const { return inner_.active(w); }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &rng)
+    {
+        return inner_.action(w, next, rng);
+    }
+
+    bool has_candidate(const WalkerT &w) const
+    {
+        return inner_.has_candidate(w);
+    }
+
+    graph::VertexId candidate(const WalkerT &w) const
+    {
+        return inner_.candidate(w);
+    }
+
+    bool
+    rejection(WalkerT &w, const graph::VertexView &view, util::Rng &rng)
+    {
+        const bool accepted = inner_.rejection(w, view, rng);
+        if (accepted) {
+            endpoints[w.id] = w.location;
+        }
+        return accepted;
+    }
+
+    std::vector<graph::VertexId> endpoints;
+
+  private:
+    apps::Node2Vec inner_;
+};
+
+static_assert(engine::SecondOrderApp<RecordingNode2Vec>);
+
+class ParallelStepTest : public testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        graph_ = graph::generate_rmat(
+            {.scale = 9, .edge_factor = 8, .a = 0.57, .b = 0.19,
+             .c = 0.19, .seed = 23, .symmetrize = true,
+             .weighted = false});
+        graph::GraphFile::write(graph_, device_);
+        file_ = std::make_unique<graph::GraphFile>(device_);
+        partition_ = std::make_unique<graph::BlockPartition>(
+            *file_, file_->edge_region_bytes() / 8);
+    }
+
+    core::EngineConfig
+    config(unsigned threads, bool presample) const
+    {
+        core::EngineConfig cfg = core::EngineConfig::full(
+            testing_support::tight_budget(*file_, *partition_),
+            partition_->max_block_bytes());
+        cfg.step_threads = threads;
+        cfg.presample = presample;
+        return cfg;
+    }
+
+    graph::CsrGraph graph_;
+    storage::MemDevice device_;
+    std::unique_ptr<graph::GraphFile> file_;
+    std::unique_ptr<graph::BlockPartition> partition_;
+};
+
+TEST_F(ParallelStepTest, BasicWalkIsBitIdenticalAcrossThreadCounts)
+{
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 24;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::vector<std::uint32_t>> visits;
+    std::vector<std::uint64_t> steps;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ConcurrentRecordingWalk app(kLength, file_->num_vertices(),
+                                    kWalkers);
+        core::NosWalkerEngine<ConcurrentRecordingWalk> eng(
+            *file_, *partition_, config(threads, /*presample=*/true));
+        const auto stats = eng.run(app, kWalkers);
+        endpoints.push_back(app.endpoints);
+        std::vector<std::uint32_t> v(app.visits.size());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            v[i] = app.visits[i].load();
+        }
+        visits.push_back(std::move(v));
+        steps.push_back(stats.steps);
+    }
+    // Dead ends retire walkers early, so the budget is an upper bound.
+    EXPECT_GT(steps[0], 0u);
+    EXPECT_LE(steps[0], kWalkers * kLength);
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]);
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "thread config " << t;
+        EXPECT_EQ(visits[t], visits[0]) << "thread config " << t;
+    }
+}
+
+TEST_F(ParallelStepTest, PresampleOffIsBitIdenticalAcrossThreadCounts)
+{
+    constexpr std::uint64_t kWalkers = 400;
+    constexpr std::uint32_t kLength = 16;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ConcurrentRecordingWalk app(kLength, file_->num_vertices(),
+                                    kWalkers);
+        core::NosWalkerEngine<ConcurrentRecordingWalk> eng(
+            *file_, *partition_, config(threads, /*presample=*/false));
+        eng.run(app, kWalkers);
+        endpoints.push_back(app.endpoints);
+    }
+    EXPECT_EQ(endpoints[1], endpoints[0]);
+    EXPECT_EQ(endpoints[2], endpoints[0]);
+}
+
+TEST_F(ParallelStepTest, Node2VecIsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::uint64_t> steps;
+    std::vector<std::uint64_t> trials;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        RecordingNode2Vec app(2.0, 0.5, 12, file_->num_vertices(), 2);
+        core::NosWalkerEngine<RecordingNode2Vec> eng(
+            *file_, *partition_, config(threads, /*presample=*/true));
+        const auto stats = eng.run(app, app.total_walkers());
+        endpoints.push_back(app.endpoints);
+        steps.push_back(stats.steps);
+        trials.push_back(stats.rejection_trials);
+    }
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]);
+        EXPECT_EQ(trials[t], trials[0]);
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "thread config " << t;
+    }
+}
+
+TEST_F(ParallelStepTest, RerunWithSameSeedRepeats)
+{
+    // The persistent pool survives across runs of one engine; repeated
+    // runs must not leak state between them.
+    constexpr std::uint64_t kWalkers = 300;
+    ConcurrentRecordingWalk a(10, file_->num_vertices(), kWalkers);
+    ConcurrentRecordingWalk b(10, file_->num_vertices(), kWalkers);
+    core::NosWalkerEngine<ConcurrentRecordingWalk> eng(
+        *file_, *partition_, config(4, /*presample=*/true));
+    eng.run(a, kWalkers);
+    eng.run(b, kWalkers);
+    EXPECT_EQ(a.endpoints, b.endpoints);
+}
+
+} // namespace
+} // namespace noswalker

@@ -98,7 +98,7 @@ TEST_F(PreSampleTest, DirectVerticesNeverRunDry)
     }
 }
 
-TEST_F(PreSampleTest, SampledVertexConsumesAndEmpties)
+TEST_F(PreSampleTest, SampledDrawsAreRealEdgesAndAccounted)
 {
     util::MemoryBudget budget(0);
     PreSampleBuffer ps(*file_, partition_->block(0), params(), nullptr,
@@ -106,15 +106,64 @@ TEST_F(PreSampleTest, SampledVertexConsumesAndEmpties)
     fill(ps);
     const std::uint32_t q = ps.quota(0);
     ASSERT_GT(q, 0u);
-    for (std::uint32_t i = 0; i < q; ++i) {
+    // Draws are with replacement from the walker's stream, and drying
+    // only becomes visible once publish_drain() runs — so within one
+    // step round the reservoir serves freely.
+    util::Rng rng(7);
+    for (std::uint32_t i = 0; i < 2 * q; ++i) {
         ASSERT_TRUE(ps.has(0));
-        const graph::VertexId next = ps.top(0);
+        const graph::VertexId next = ps.sample(0, rng);
         // The hub's samples must be real neighbours.
         EXPECT_TRUE(graph_.has_edge(0, next));
-        ps.pop(0);
+        ps.consume(0);
     }
+    EXPECT_TRUE(ps.has(0));
+    EXPECT_EQ(ps.visits(0), 2 * q);
+    // consumed_fraction is buffer-wide: 2q draws over all slots.
+    EXPECT_DOUBLE_EQ(ps.consumed_fraction(),
+                     static_cast<double>(2 * q) /
+                         static_cast<double>(ps.slot_count()));
+}
+
+TEST_F(PreSampleTest, PublishedDrainDriesSampledVertices)
+{
+    util::MemoryBudget budget(0);
+    PreSampleBuffer ps(*file_, partition_->block(0), params(), nullptr,
+                       budget);
+    fill(ps);
+    const std::uint32_t q = ps.quota(0);
+    util::Rng rng(13);
+    // Consume a full quota: still available until the snapshot is
+    // published (round-granular visibility).
+    for (std::uint32_t i = 0; i < q; ++i) {
+        ps.sample(0, rng);
+        ps.consume(0);
+    }
+    EXPECT_TRUE(ps.has(0));
+    ps.publish_drain();
     EXPECT_FALSE(ps.has(0));
-    EXPECT_EQ(ps.visits(0), q);
+    // Direct vertices hold the real adjacency and never dry.
+    ps.consume(1);
+    ps.publish_drain();
+    EXPECT_TRUE(ps.has(1));
+}
+
+TEST_F(PreSampleTest, SampleIsAFunctionOfTheCallerStream)
+{
+    util::MemoryBudget budget(0);
+    PreSampleBuffer ps(*file_, partition_->block(0), params(), nullptr,
+                       budget);
+    fill(ps);
+    // Identically seeded streams see identical slot picks regardless of
+    // interleaved draws by other streams — the property that makes
+    // pre-sample-served steps thread-count independent.
+    util::Rng a(21), b(21), interloper(99);
+    for (int i = 0; i < 32; ++i) {
+        const graph::VertexId from_a = ps.sample(0, a);
+        ps.sample(0, interloper);
+        const graph::VertexId from_b = ps.sample(0, b);
+        EXPECT_EQ(from_a, from_b);
+    }
 }
 
 TEST_F(PreSampleTest, StallVisitsFeedHistory)

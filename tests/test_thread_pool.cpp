@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the persistent fork-join pool backing parallel stepping.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace noswalker::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.hired(), 3u);
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, ZeroHiredRunsOnTheCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.hired(), 0u);
+    const std::thread::id me = std::this_thread::get_id();
+    std::size_t executed = 0;
+    pool.run(16, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), me);
+        ++executed;
+    });
+    EXPECT_EQ(executed, 16u);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.run(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> before_throw{0};
+    EXPECT_THROW(pool.run(64,
+                          [&](std::size_t i) {
+                              if (i == 5) {
+                                  throw std::runtime_error("task 5");
+                              }
+                              before_throw.fetch_add(
+                                  1, std::memory_order_relaxed);
+                          }),
+                 std::runtime_error);
+    // Unclaimed indices were abandoned, not executed twice.
+    EXPECT_LT(before_throw.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRunsAndAfterAnException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.run(8, [](std::size_t) { throw std::logic_error("boom"); }),
+        std::logic_error);
+    std::atomic<std::size_t> sum{0};
+    for (int round = 0; round < 3; ++round) {
+        pool.run(32, [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), 3u * (31u * 32u / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersAreSerialized)
+{
+    // The walk service hands one pool to every worker; concurrent
+    // run() calls must queue, not interleave state.
+    ThreadPool pool(2);
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> callers;
+    callers.reserve(4);
+    for (int c = 0; c < 4; ++c) {
+        callers.emplace_back([&] {
+            pool.run(50, [&](std::size_t) {
+                total.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    }
+    for (std::thread &t : callers) {
+        t.join();
+    }
+    EXPECT_EQ(total.load(), 200u);
+}
+
+} // namespace
+} // namespace noswalker::util

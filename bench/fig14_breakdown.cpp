@@ -13,9 +13,14 @@
  * Expected shape: +WM pays most with many walkers (4B10), +SBS pays
  * most on sparse-walker apps (PPR/SR/GC), +PS gives the largest win on
  * the weighted graph and weakens on the flat graphs.
+ *
+ * A final section ablates the prefetch depth (DESIGN.md §10) on the
+ * 1B10 workload: modeled io_wait at depth 1 vs depth 4, same walk
+ * output.  Pass `--json <path>` to archive both sections.
  */
 #include <cstdio>
 #include <functional>
+#include <string>
 
 #include "apps/basic_rw.hpp"
 #include "apps/graphlet.hpp"
@@ -28,6 +33,8 @@
 using namespace noswalker;
 
 namespace {
+
+bench::JsonReporter *reporter = nullptr;
 
 struct StageResult {
     double time = 0.0;
@@ -73,13 +80,88 @@ run_breakdown(bench::BenchEnv &env, const char *name,
             bench::fmt_double(stages[stage].io / stages[0].io, 2));
     }
     bench::print_table_row(row);
+    if (reporter != nullptr) {
+        static const char *const kStageNames[4] = {
+            "base", "walker_mgmt", "shrink_block", "presample"};
+        for (int stage = 0; stage < 4; ++stage) {
+            bench::JsonRecord record;
+            record.engine = "noswalker";
+            record.dataset = h.spec.name;
+            record.workload =
+                std::string(name) + "/" + kStageNames[stage];
+            record.io_busy_seconds = stages[stage].time;
+            record.extras = {
+                {"normalized_time",
+                 stages[stage].time / stages[0].time},
+                {"normalized_io", stages[stage].io / stages[0].io},
+            };
+            reporter->add(std::move(record));
+        }
+    }
+}
+
+/** Depth-1 vs depth-4 io_wait on the 1B10 workload (DESIGN.md §10). */
+void
+run_prefetch_ablation(bench::BenchEnv &env)
+{
+    bench::GraphHandle &h = env.get(graph::DatasetId::kKron30);
+    const graph::VertexId v = h.file->num_vertices();
+    std::printf("\nPrefetch-depth ablation (1B10 on %s): modeled "
+                "io_wait, identical walk output\n",
+                h.spec.name.c_str());
+    bench::print_table_header(
+        "Prefetch", {"depth", "io_wait(s)", "hits", "mispredicts",
+                     "io_wait vs depth1"});
+    double depth1_wait = 0.0;
+    for (const unsigned depth : {1u, 4u}) {
+        apps::BasicRandomWalk app(10, v);
+        core::EngineConfig cfg = env.noswalker_config(h);
+        cfg.prefetch_depth = depth;
+        core::NosWalkerEngine<apps::BasicRandomWalk> eng(
+            *h.file, *h.partition, cfg);
+        const auto s = eng.run(app, v);
+        if (depth == 1) {
+            depth1_wait = s.io_wait_seconds;
+        }
+        const double ratio =
+            depth1_wait > 0.0 ? s.io_wait_seconds / depth1_wait : 0.0;
+        bench::print_table_row(
+            {std::to_string(depth),
+             bench::fmt_double(s.io_wait_seconds, 6),
+             bench::fmt_count(s.prefetch_hits),
+             bench::fmt_count(s.prefetch_mispredicts),
+             bench::fmt_double(ratio, 2)});
+        if (reporter != nullptr) {
+            bench::JsonRecord record;
+            record.engine = s.engine;
+            record.dataset = h.spec.name;
+            record.workload =
+                "1B10/prefetch_depth_" + std::to_string(depth);
+            record.steps = s.steps;
+            record.io_busy_seconds = s.io_busy_seconds;
+            record.cpu_seconds = s.cpu_seconds;
+            record.peak_memory = s.peak_memory;
+            record.extras = {
+                {"prefetch_depth", static_cast<double>(depth)},
+                {"io_wait_seconds", s.io_wait_seconds},
+                {"io_wait_vs_depth1", ratio},
+                {"prefetch_hits",
+                 static_cast<double>(s.prefetch_hits)},
+                {"prefetch_mispredicts",
+                 static_cast<double>(s.prefetch_mispredicts)},
+            };
+            reporter->add(std::move(record));
+        }
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json = bench::JsonReporter::from_args(argc, argv);
+    reporter = &json;
     bench::BenchEnv env;
     env.get(graph::DatasetId::kCrawlWeb); // budget anchor
     std::printf("Figure 14: cells are normalized time / normalized I/O "
@@ -156,5 +238,7 @@ main()
 
     std::printf("\nPaper (1B10): normalized time 1/0.81/0.60/0.20, "
                 "normalized I/O 1/0.86/0.52/0.21.\n");
+
+    run_prefetch_ablation(env);
     return 0;
 }

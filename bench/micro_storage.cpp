@@ -1,18 +1,30 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the substrates: the §3.3.1 SSD
- * tradeoff under the cost model, block-reader coarse/fine paths, alias
- * sampling, pre-sample buffer operations, and the RNG.
+ * tradeoff under the cost model, block-reader coarse/fine paths, the
+ * recycling buffer pool, alias sampling, pre-sample buffer operations,
+ * and the RNG.  After the microbenchmarks, a prefetch-depth ablation
+ * runs the full engine at depth 0/1/2/4 and reports the modeled
+ * io_wait per depth; pass `--json <path>` to archive it
+ * (scripts/bench_snapshot.sh).
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "apps/basic_rw.hpp"
+#include "bench_common.hpp"
+#include "core/noswalker_engine.hpp"
 #include "core/presample_buffer.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_file.hpp"
 #include "graph/partition.hpp"
+#include "storage/async_loader.hpp"
+#include "storage/block_buffer_pool.hpp"
 #include "storage/block_reader.hpp"
 #include "storage/mem_device.hpp"
 #include "util/alias_table.hpp"
@@ -109,6 +121,33 @@ BM_FineBlockLoad(benchmark::State &state)
 BENCHMARK(BM_FineBlockLoad)->Arg(1)->Arg(16)->Arg(256);
 
 void
+BM_PooledAsyncLoad(benchmark::State &state)
+{
+    // The steady-state load loop of the prefetch pipeline: submit,
+    // wait, recycle.  The pool keeps one buffer in rotation, so the
+    // loop reuses its storage and budget reservation every iteration.
+    MicroFixture &f = fixture();
+    util::MemoryBudget budget(0);
+    storage::BlockReader reader(*f.file, budget);
+    storage::BlockBufferPool pool;
+    storage::AsyncLoader loader(reader, /*background=*/false,
+                                /*depth=*/1, &pool);
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        storage::AsyncLoader::Request request;
+        request.block = &f.partition->block(0);
+        loader.submit(std::move(request));
+        auto response = loader.wait();
+        bytes += response.result.bytes_read;
+        pool.recycle(std::move(response.buffer));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    state.counters["pool_reused"] =
+        benchmark::Counter(static_cast<double>(pool.reused()));
+}
+BENCHMARK(BM_PooledAsyncLoad);
+
+void
 BM_AliasTableSample(benchmark::State &state)
 {
     util::Rng rng(3);
@@ -178,6 +217,87 @@ BM_RngNextIndex(benchmark::State &state)
 }
 BENCHMARK(BM_RngNextIndex);
 
+/**
+ * Engine-level prefetch-depth ablation (DESIGN.md §10): same walk at
+ * depth 0/1/2/4, unlimited budget so the configured depth is honoured.
+ * io_wait is modeled (SSD cost model + queue latency), so the numbers
+ * are machine-independent; walk output is bit-identical across rows.
+ */
+void
+run_prefetch_ablation(bench::JsonReporter &json)
+{
+    MicroFixture &f = fixture();
+    const graph::VertexId n = f.file->num_vertices();
+    std::printf("\nPrefetch-depth ablation: basic walk L=10, %u walkers, "
+                "%u blocks\n",
+                static_cast<unsigned>(n),
+                static_cast<unsigned>(f.partition->num_blocks()));
+    bench::print_table_header(
+        "Prefetch", {"depth", "io_wait(s)", "hits", "mispredicts",
+                     "io_wait vs depth1"});
+    double depth1_wait = 0.0;
+    for (const unsigned depth : {0u, 1u, 2u, 4u}) {
+        apps::BasicRandomWalk app(10, n);
+        core::EngineConfig cfg = core::EngineConfig::full(
+            0, f.partition->max_block_bytes());
+        cfg.prefetch_depth = depth;
+        core::NosWalkerEngine<apps::BasicRandomWalk> eng(
+            *f.file, *f.partition, cfg);
+        const auto s = eng.run(app, n);
+        if (depth == 1) {
+            depth1_wait = s.io_wait_seconds;
+        }
+        const double ratio =
+            depth1_wait > 0.0 ? s.io_wait_seconds / depth1_wait : 0.0;
+        bench::print_table_row(
+            {std::to_string(depth),
+             bench::fmt_double(s.io_wait_seconds, 6),
+             bench::fmt_count(s.prefetch_hits),
+             bench::fmt_count(s.prefetch_mispredicts),
+             depth >= 1 ? bench::fmt_double(ratio, 2) : "-"});
+        bench::JsonRecord record;
+        record.engine = s.engine;
+        record.dataset = "rmat-micro";
+        record.workload = "prefetch_depth_" + std::to_string(depth);
+        record.steps = s.steps;
+        record.io_busy_seconds = s.io_busy_seconds;
+        record.cpu_seconds = s.cpu_seconds;
+        record.peak_memory = s.peak_memory;
+        record.extras = {
+            {"prefetch_depth", static_cast<double>(depth)},
+            {"io_wait_seconds", s.io_wait_seconds},
+            {"prefetch_hits", static_cast<double>(s.prefetch_hits)},
+            {"prefetch_mispredicts",
+             static_cast<double>(s.prefetch_mispredicts)},
+        };
+        json.add(std::move(record));
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::JsonReporter json = bench::JsonReporter::from_args(argc, argv);
+    // google-benchmark rejects flags it does not know; strip --json
+    // before handing argv over.
+    std::vector<char *> bench_args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            ++i;
+            continue;
+        }
+        bench_args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_prefetch_ablation(json);
+    return 0;
+}

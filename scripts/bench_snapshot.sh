@@ -14,7 +14,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 SHA=$(git rev-parse --short HEAD 2>/dev/null || date +%s)
 OUT=${1:-bench-results/$SHA}
 
-for bin in ablation_core service_throughput; do
+for bin in ablation_core service_throughput micro_storage fig14_breakdown; do
     if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
         echo "error: $BUILD_DIR/bench/$bin not built" \
              "(cmake --build $BUILD_DIR --target $bin)" >&2
@@ -27,5 +27,10 @@ echo "== ablation_core =="
 "$BUILD_DIR/bench/ablation_core" --json "$OUT/ablation_core.json"
 echo "== service_throughput =="
 "$BUILD_DIR/bench/service_throughput" --json "$OUT/service_throughput.json"
+echo "== micro_storage (prefetch-depth ablation) =="
+"$BUILD_DIR/bench/micro_storage" --benchmark_min_time=0.05 \
+    --json "$OUT/micro_storage.json"
+echo "== fig14_breakdown =="
+"$BUILD_DIR/bench/fig14_breakdown" --json "$OUT/fig14_breakdown.json"
 echo
 echo "snapshot written to $OUT"

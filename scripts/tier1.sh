@@ -13,10 +13,10 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping) =="
+echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep' --output-on-failure
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader' --output-on-failure
 
 echo
 echo "tier 1 passed"

@@ -49,6 +49,51 @@ BlockScheduler::hottest_excluding(std::uint32_t skip) const
     return best;
 }
 
+std::vector<std::uint32_t>
+BlockScheduler::top_k_excluding(std::size_t k,
+                                std::span<const std::uint32_t> skip) const
+{
+    std::vector<std::uint32_t> picks;
+    if (k == 0) {
+        return picks;
+    }
+    picks.reserve(k);
+    // Selection by repeated max scan: k is the prefetch depth (a small
+    // constant), so O(k·B) beats sorting all B blocks.
+    while (picks.size() < k) {
+        std::uint32_t best = kNoBlock;
+        std::uint64_t best_count = 0;
+        for (std::uint32_t b = 0; b < counts_.size(); ++b) {
+            if (counts_[b] <= best_count) {
+                continue;
+            }
+            const auto excluded = [&](std::uint32_t id) {
+                for (std::uint32_t s : skip) {
+                    if (s == id) {
+                        return true;
+                    }
+                }
+                for (std::uint32_t p : picks) {
+                    if (p == id) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            if (excluded(b)) {
+                continue;
+            }
+            best_count = counts_[b];
+            best = b;
+        }
+        if (best == kNoBlock) {
+            break;
+        }
+        picks.push_back(best);
+    }
+    return picks;
+}
+
 bool
 BlockScheduler::fine_mode(std::uint64_t active_walkers)
 {

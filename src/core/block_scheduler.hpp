@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace noswalker::core {
@@ -58,6 +59,16 @@ class BlockScheduler {
      * Pass kNoBlock to skip nothing.
      */
     std::uint32_t hottest_excluding(std::uint32_t skip) const;
+
+    /**
+     * The up to @p k hottest blocks with waiting walkers, hottest
+     * first (ties broken towards the lower id, matching hottest()),
+     * excluding every id in @p skip.  The depth-K prefetch pipeline
+     * uses this to nominate the next speculative loads.
+     */
+    std::vector<std::uint32_t>
+    top_k_excluding(std::size_t k,
+                    std::span<const std::uint32_t> skip) const;
 
     /**
      * Whether the engine should use fine-grained loads given the

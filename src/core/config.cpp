@@ -20,6 +20,10 @@ EngineConfig::validate() const
     if (step_threads == 0) {
         throw util::ConfigError("EngineConfig: step_threads must be >= 1");
     }
+    if (prefetch_depth > 64) {
+        throw util::ConfigError(
+            "EngineConfig: prefetch_depth must be <= 64");
+    }
     // The fractions apply sequentially (pool from the post-index
     // remainder, pre-samples from what is left after the pool), so
     // each only needs to be a valid fraction on its own.

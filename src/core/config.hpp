@@ -46,8 +46,11 @@ struct EngineConfig {
      *  paper's walker pools "initially occupy most of the memory". */
     double walker_memory_fraction = 0.5;
 
-    /** Fraction of post-index budget granted to pre-sample buffers. */
-    double presample_memory_fraction = 0.55;
+    /** Fraction of the budget left after the walker pool reserved for
+     *  pre-sample buffers.  A binding cap: the pool charges its own
+     *  sub-budget of this size so eviction pressure never depends on
+     *  other reservations, e.g. speculation buffers (DESIGN.md §10). */
+    double presample_memory_fraction = 0.85;
 
     /** Master seed; every run is a deterministic function of it. */
     std::uint64_t seed = 42;
@@ -62,6 +65,17 @@ struct EngineConfig {
      * from a private stream derived from (seed, walker id).
      */
     unsigned step_threads = 1;
+
+    /**
+     * Speculative prefetch depth: up to this many lookahead block
+     * loads in flight beyond the one being processed (0 = demand
+     * loading only).  Depth never changes walk output — the engine
+     * always processes the scheduler's hottest block; speculation only
+     * changes how its bytes arrive (DESIGN.md §10).  Auto-shrinks
+     * under tight budgets so buffers stay within the block-buffer
+     * share.
+     */
+    unsigned prefetch_depth = 2;
 
     // --- Fig 14 breakdown knobs (all on = full NosWalker) ---
 

@@ -42,6 +42,7 @@
 
 #include "core/block_scheduler.hpp"
 #include "core/config.hpp"
+#include "core/prefetch_pipeline.hpp"
 #include "core/presample_buffer.hpp"
 #include "core/walker_pool.hpp"
 #include "engine/app.hpp"
@@ -51,6 +52,7 @@
 #include "graph/graph_file.hpp"
 #include "graph/partition.hpp"
 #include "storage/async_loader.hpp"
+#include "storage/block_buffer_pool.hpp"
 #include "storage/block_reader.hpp"
 #include "storage/mem_device.hpp"
 #include "storage/shared_block_cache.hpp"
@@ -154,8 +156,13 @@ class NosWalkerEngine {
 
         storage::BlockReader reader(*file_, unbudgeted_, 8ULL << 20,
                                     shared_cache_);
+        storage::BlockBufferPool buffer_pool;
         storage::AsyncLoader loader(
-            reader, config_.loader_threads > 0 && !single_buffer_);
+            reader, config_.loader_threads > 0 && !single_buffer_,
+            std::max<std::size_t>(prefetch_slots_, 1), &buffer_pool);
+        PrefetchPipeline pipeline(
+            loader, reader, buffer_pool, prefetch_slots_, shared_cache_,
+            file_->device().model().queue_latency);
         const storage::IoStats io_before = file_->device().stats();
 
         App &a = app;
@@ -168,6 +175,7 @@ class NosWalkerEngine {
         cpu_seconds += cpu.seconds();
 
         while (generated_ < total_ || pool_->live() > 0) {
+            pipeline.poll();
             const std::uint32_t target = choose_block();
             if (target == BlockScheduler::kNoBlock) {
                 // Only in-flight generation remains.
@@ -176,39 +184,34 @@ class NosWalkerEngine {
                 cpu_seconds += cpu.seconds();
                 continue;
             }
-            if (!loader.outstanding()) {
-                loader.submit(make_request(target));
-            }
-            auto response = loader.wait();
-            if (response.error) {
-                std::rethrow_exception(response.error);
-            }
-
-            // Predict and prefetch the next block while we process
-            // (only with a second buffer to land it in).
-            if (!single_buffer_) {
-                const std::uint32_t next =
-                    choose_block_excluding(response.block->id);
-                if (next != BlockScheduler::kNoBlock) {
-                    loader.submit(make_request(next));
-                }
-            }
+            // The processed block is always the hottest at choice time
+            // — a pure function of (seed, app, graph), never of the
+            // prefetch depth.  Speculation only changes how its bytes
+            // arrive, so walk output is bit-identical at every depth.
+            auto response = pipeline.obtain(make_request(target));
 
             cpu.reset();
-            account_load(response);
-            if (scheduler_->count(response.block->id) > 0) {
+            if (scheduler_->count(target) > 0) {
                 process_block(a, response);
             } else {
-                // Prefetch went stale: walkers left before the load
-                // arrived.  The bytes are already on the books, exactly
-                // like a mispredicted load on real hardware.
+                // Stale load: walkers left before the bytes arrived.
                 ++stats_.stalls;
             }
             admit_walkers(a, &response);
             cpu_seconds += cpu.seconds();
-        }
 
-        finalize(budget, io_before, cpu_seconds);
+            pipeline.recycle(std::move(response.buffer));
+            pipeline.sweep(*scheduler_);
+
+            // Nominate the lookahead *after* this round's parking: the
+            // scheduler counts now decide the next rounds' targets, so
+            // the top-K picks are exactly the blocks about to be
+            // chosen and the next obtain is served from the pipeline.
+            top_up_speculation(pipeline);
+        }
+        pipeline.finish();
+
+        finalize(budget, io_before, cpu_seconds, pipeline.stats());
         stats_.wall_seconds = wall.seconds();
         return stats_;
     }
@@ -267,16 +270,20 @@ class NosWalkerEngine {
         index_rsv_ = util::Reservation(budget, file_->index_bytes(),
                                        "csr index");
 
-        // Two resident block buffers (current + prefetch) when memory
-        // allows; under very tight budgets a second buffer would
-        // starve the walker pool and pre-sample pool, so the engine
-        // degrades to single-buffer synchronous loading.
+        // Resident block buffers: the depth-independent baseline of
+        // two (the block being processed plus one lookahead, as in
+        // double buffering), charged once up front — the buffer pool
+        // recycles the storage, so the high-water mark is the whole
+        // charge.  Extra speculative slots are reserved *last*, from
+        // whatever the walker pool and pre-sample pool leave over, so
+        // the walker cap and pre-sample sizing — and therefore the
+        // walk schedule — never depend on prefetch_depth.
         const std::uint64_t page = storage::BlockReader::kPageBytes;
         const std::uint64_t aligned =
             (partition_->max_block_bytes() / page + 2) * page;
+        const std::uint64_t buffer_share = (budget.available() * 35) / 100;
         single_buffer_ =
-            budget.limit() != 0 &&
-            2 * aligned > (budget.available() * 35) / 100;
+            budget.limit() != 0 && 2 * aligned > buffer_share;
         buffer_rsv_ = util::Reservation(
             budget, single_buffer_ ? aligned : 2 * aligned,
             "block buffers");
@@ -329,18 +336,55 @@ class NosWalkerEngine {
         }
 
         if (config_.presample) {
-            const std::uint64_t ps_total = std::max<std::uint64_t>(
+            std::uint64_t ps_total = std::max<std::uint64_t>(
                 4096, budget.limit() == 0
                           ? std::uint64_t{64} << 20
                           : static_cast<std::uint64_t>(
                                 config_.presample_memory_fraction *
                                 static_cast<double>(budget.available())));
+            if (budget.limit() != 0) {
+                // Never over-claim a nearly spent budget: a too-small
+                // pool degrades to skipped fills, not a failed run.
+                ps_total = std::min(ps_total, budget.available());
+            }
             presample_bytes_total_ = ps_total;
             // Hot blocks deserve deep buffers: cap one block at a
             // quarter of the pool and let coldest-buffer eviction
             // arbitrate the rest (§3.3.3).
             presample_per_block_ =
                 std::max<std::uint64_t>(4096, ps_total / 4);
+            // Claim the pool share up front and hand the buffers their
+            // own accountant: fills then compete only with each other
+            // for a cap that is identical at every prefetch depth,
+            // never with the speculation buffers on the global budget
+            // (§10) — otherwise eviction pressure, pre-sample content,
+            // and the walk itself would vary with the depth.
+            ps_rsv_ = util::Reservation(budget, ps_total,
+                                        "presample pool");
+            presample_budget_ =
+                std::make_unique<util::MemoryBudget>(ps_total);
+        }
+
+        // Speculative lookahead slots beyond the baseline buffer pair,
+        // funded strictly from the slack left after the pre-sample
+        // pool's up-front claim.  Shrinking the depth never changes
+        // walk output — the engine always processes the scheduler's
+        // hottest block (§10).
+        prefetch_slots_ = 0;
+        if (!single_buffer_ && config_.prefetch_depth > 0) {
+            prefetch_slots_ = config_.prefetch_depth;
+            if (budget.limit() != 0) {
+                const std::uint64_t spare = budget.available();
+                while (prefetch_slots_ > 1 &&
+                       (prefetch_slots_ - 1) * aligned > spare) {
+                    --prefetch_slots_;
+                }
+            }
+            if (prefetch_slots_ > 1) {
+                spec_rsv_ = util::Reservation(
+                    budget, (prefetch_slots_ - 1) * aligned,
+                    "speculation buffers");
+            }
         }
         budget_ = &budget;
         stats_.pipelined = !single_buffer_;
@@ -383,26 +427,30 @@ class NosWalkerEngine {
         return scheduler_->hottest();
     }
 
-    std::uint32_t
-    choose_block_excluding(std::uint32_t skip) const
-    {
-        return scheduler_->hottest_excluding(skip);
-    }
-
+    /**
+     * Nominate the next hottest blocks for speculative coarse loads
+     * (§10).  Speculation pauses once fine mode fires: a fine needed
+     * list must be frozen at choice time, and coarse lookahead of tiny
+     * tail buckets would thrash the slots.
+     */
     void
-    account_load(const storage::AsyncLoader::Response &response)
+    top_up_speculation(PrefetchPipeline &pipeline)
     {
-        if (response.fine) {
-            ++stats_.fine_loads;
-        } else {
-            ++stats_.blocks_loaded;
+        if (pipeline.depth() == 0 || !pipeline.can_speculate() ||
+            (config_.shrink_block && scheduler_->fine_mode_active())) {
+            return;
         }
-        if (response.result.from_cache) {
-            ++stats_.cache_hit_blocks;
+        exclude_scratch_.clear();
+        pipeline.collect_covered(exclude_scratch_);
+        const std::vector<std::uint32_t> picks =
+            scheduler_->top_k_excluding(pipeline.depth(),
+                                        exclude_scratch_);
+        for (const std::uint32_t next : picks) {
+            if (!pipeline.can_speculate()) {
+                break;
+            }
+            pipeline.speculate(partition_->block(next));
         }
-        local_io_bytes_ += response.result.bytes_read;
-        local_io_requests_ += response.result.requests;
-        local_io_seconds_ += response.result.modeled_seconds;
     }
 
     /** Bucket view without draining it (fine-mode needed lists). */
@@ -502,11 +550,15 @@ class NosWalkerEngine {
             return;
         }
 
+        // Fills charge the pool's own accountant, never the global
+        // budget: eviction pressure here must depend only on the
+        // depth-invariant pool cap, not on whatever else (speculation
+        // buffers, concurrent tenants) the global budget holds (§10).
         std::unique_ptr<PreSampleBuffer> fresh;
         for (;;) {
             try {
                 fresh = std::make_unique<PreSampleBuffer>(
-                    *file_, block, params, previous, *budget_);
+                    *file_, block, params, previous, *presample_budget_);
                 break;
             } catch (const util::BudgetExceeded &) {
                 if (!evict_coldest_buffer(block.id)) {
@@ -907,8 +959,20 @@ class NosWalkerEngine {
 
     void
     finalize(util::MemoryBudget &budget, const storage::IoStats &before,
-             double cpu_seconds)
+             double cpu_seconds, const PrefetchPipeline::Stats &pipeline)
     {
+        // The pipeline accounts every consumed response — including
+        // speculative loads demoted unprocessed — so its totals are
+        // the run's I/O attribution.
+        stats_.blocks_loaded = pipeline.coarse_loads;
+        stats_.fine_loads = pipeline.fine_loads;
+        stats_.cache_hit_blocks = pipeline.cache_hit_loads;
+        stats_.prefetch_hits = pipeline.prefetch_hits;
+        stats_.prefetch_mispredicts = pipeline.prefetch_mispredicts;
+        stats_.io_wait_seconds = pipeline.io_wait_seconds;
+        local_io_bytes_ = pipeline.bytes_read;
+        local_io_requests_ = pipeline.read_requests;
+        local_io_seconds_ = pipeline.modeled_io_seconds;
         if (shared_budget_ != nullptr || shared_cache_ != nullptr) {
             // Device counters are shared with concurrent engines (and
             // cache hits never reach the device), so attribute I/O
@@ -940,6 +1004,8 @@ class NosWalkerEngine {
         pool_.reset();
         index_rsv_.release();
         buffer_rsv_.release();
+        spec_rsv_.release();
+        ps_rsv_.release();
     }
 
     const graph::GraphFile *file_;
@@ -963,8 +1029,16 @@ class NosWalkerEngine {
     util::MemoryBudget *budget_ = nullptr;
     util::MemoryBudget unbudgeted_{0};
     bool single_buffer_ = false;
+    /** Speculative lookahead slots after budget auto-shrink (§10). */
+    std::size_t prefetch_slots_ = 0;
+    /** Scratch for top_up_speculation's exclusion list. */
+    std::vector<std::uint32_t> exclude_scratch_;
     util::Reservation index_rsv_;
     util::Reservation buffer_rsv_;
+    /** Extra speculation buffers beyond the baseline pair (§10). */
+    util::Reservation spec_rsv_;
+    /** Up-front global claim backing the pre-sample pool (§10). */
+    util::Reservation ps_rsv_;
 
     /** Persistent private step pool (survives reset/finalize so the
      *  hire cost is paid once per engine, not per run). */
@@ -974,6 +1048,10 @@ class NosWalkerEngine {
 
     std::unique_ptr<WalkerPool<Record>> pool_;
     std::unique_ptr<BlockScheduler> scheduler_;
+    /** The pool's accountant; its cap never varies with prefetch
+     *  depth (§10).  Declared before buffers_ so the buffers' RAII
+     *  reservations release against a live budget on destruction. */
+    std::unique_ptr<util::MemoryBudget> presample_budget_;
     std::unordered_map<std::uint32_t, std::unique_ptr<PreSampleBuffer>>
         buffers_;
     /** Rebuild generation per block (names the fill streams). */

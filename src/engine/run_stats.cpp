@@ -48,6 +48,8 @@ RunStats::operator+=(const RunStats &other)
     blocks_loaded += other.blocks_loaded;
     fine_loads += other.fine_loads;
     cache_hit_blocks += other.cache_hit_blocks;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_mispredicts += other.prefetch_mispredicts;
     presample_steps += other.presample_steps;
     block_steps += other.block_steps;
     stalls += other.stalls;
@@ -55,6 +57,7 @@ RunStats::operator+=(const RunStats &other)
     rejection_rejected += other.rejection_rejected;
     cpu_seconds += other.cpu_seconds;
     io_busy_seconds += other.io_busy_seconds;
+    io_wait_seconds += other.io_wait_seconds;
     wall_seconds += other.wall_seconds;
     pipelined = pipelined || other.pipelined;
     io_efficiency = std::max(io_efficiency, other.io_efficiency);
@@ -83,6 +86,8 @@ RunStats::scaled(double fraction) const
     out.blocks_loaded = part(blocks_loaded);
     out.fine_loads = part(fine_loads);
     out.cache_hit_blocks = part(cache_hit_blocks);
+    out.prefetch_hits = part(prefetch_hits);
+    out.prefetch_mispredicts = part(prefetch_mispredicts);
     out.presample_steps = part(presample_steps);
     out.block_steps = part(block_steps);
     out.stalls = part(stalls);
@@ -90,6 +95,7 @@ RunStats::scaled(double fraction) const
     out.rejection_rejected = part(rejection_rejected);
     out.cpu_seconds = cpu_seconds * fraction;
     out.io_busy_seconds = io_busy_seconds * fraction;
+    out.io_wait_seconds = io_wait_seconds * fraction;
     out.wall_seconds = wall_seconds * fraction;
     return out;
 }
@@ -106,9 +112,12 @@ RunStats::to_string() const
         << "\n"
         << "  blocks=" << blocks_loaded << " fine_loads=" << fine_loads
         << " cache_hits=" << cache_hit_blocks
+        << " prefetch_hits=" << prefetch_hits
+        << " mispredicts=" << prefetch_mispredicts
         << " presample_steps=" << presample_steps
         << " block_steps=" << block_steps << " stalls=" << stalls << "\n"
         << "  cpu_s=" << cpu_seconds << " io_busy_s=" << io_busy_seconds
+        << " io_wait_s=" << io_wait_seconds
         << " eff=" << io_efficiency << " modeled_s=" << modeled_seconds()
         << " wall_s=" << wall_seconds << "\n"
         << "  edges/step=" << edges_per_step()

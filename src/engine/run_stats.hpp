@@ -41,6 +41,12 @@ struct RunStats {
     /** Coarse loads served from a shared block cache (no device I/O). */
     std::uint64_t cache_hit_blocks = 0;
 
+    /** Demanded blocks served by a speculative prefetch (DESIGN.md §10). */
+    std::uint64_t prefetch_hits = 0;
+    /** Speculative loads whose walker bucket drained before processing
+     *  (demoted to the shared cache / stash, never discarded). */
+    std::uint64_t prefetch_mispredicts = 0;
+
     /** Steps served by reserved pre-samples (§3.3.5 counts separately). */
     std::uint64_t presample_steps = 0;
     /** Steps served directly from the currently loaded block. */
@@ -55,6 +61,9 @@ struct RunStats {
     double cpu_seconds = 0.0;
     /** Modeled device busy time, seconds (includes swap traffic). */
     double io_busy_seconds = 0.0;
+    /** Modeled seconds the engine was blocked waiting on block loads
+     *  (deterministic pipeline-clock accounting, DESIGN.md §10). */
+    double io_wait_seconds = 0.0;
     /** Fraction of device bandwidth the engine's I/O path achieves. */
     double io_efficiency = 1.0;
     /** True when the engine overlaps I/O with computation. */

@@ -53,6 +53,15 @@ struct ServiceConfig {
      */
     unsigned step_threads = 1;
 
+    /**
+     * Speculative prefetch depth per engine (see
+     * EngineConfig::prefetch_depth).  Also sizes each worker's block
+     * buffer pool: depth + 1 recycled buffers at the high-water mark.
+     * Walk output is depth-independent, so this is purely a
+     * latency/memory trade-off per worker.
+     */
+    unsigned prefetch_depth = 2;
+
     /** Engine walker-pool cap per run (0 = derive from the budget). */
     std::uint64_t max_walkers = 0;
 

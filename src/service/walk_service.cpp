@@ -34,6 +34,9 @@ ServiceConfig::validate() const
     if (step_threads == 0) {
         throw util::ConfigError("service: step_threads must be >= 1");
     }
+    if (prefetch_depth > 64) {
+        throw util::ConfigError("service: prefetch_depth must be <= 64");
+    }
     if (max_batch == 0) {
         throw util::ConfigError("service: max_batch must be >= 1");
     }
@@ -111,6 +114,7 @@ class BatchRunner {
         ec.loader_threads = config.loader_threads;
         ec.max_walkers = config.max_walkers;
         ec.step_threads = config.step_threads;
+        ec.prefetch_depth = config.prefetch_depth;
         return ec;
     }
 

@@ -1,13 +1,17 @@
 #include "storage/async_loader.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace noswalker::storage {
 
-AsyncLoader::AsyncLoader(BlockReader &reader, bool background)
-    : reader_(&reader), background_(background)
+AsyncLoader::AsyncLoader(BlockReader &reader, bool background,
+                         std::size_t depth, BlockBufferPool *pool)
+    : reader_(&reader), background_(background),
+      depth_(std::max<std::size_t>(depth, 1)), pool_(pool),
+      requests_(depth_), responses_(depth_)
 {
     if (background_) {
         thread_ = std::thread([this] { loop(); });
@@ -26,24 +30,28 @@ AsyncLoader::~AsyncLoader()
 void
 AsyncLoader::submit(Request request)
 {
-    NOSWALKER_CHECK(!outstanding_);
+    NOSWALKER_CHECK(can_submit());
     NOSWALKER_CHECK(request.block != nullptr);
-    outstanding_ = true;
+    ++inflight_;
     if (background_) {
         requests_.push(std::move(request));
     } else {
-        sync_request_ = std::move(request);
+        pending_.push_back(std::move(request));
     }
 }
 
 AsyncLoader::Response
 AsyncLoader::wait()
 {
-    NOSWALKER_CHECK(outstanding_);
-    outstanding_ = false;
+    NOSWALKER_CHECK(outstanding());
+    --inflight_;
     if (!background_) {
-        Response response = execute(*sync_request_);
-        sync_request_.reset();
+        Request request = std::move(pending_.front());
+        pending_.pop_front();
+        Response response = execute(request);
+        if (response.error) {
+            std::rethrow_exception(response.error);
+        }
         return response;
     }
     auto response = responses_.pop();
@@ -54,12 +62,35 @@ AsyncLoader::wait()
     return std::move(*response);
 }
 
+std::optional<AsyncLoader::Response>
+AsyncLoader::try_wait()
+{
+    if (!outstanding()) {
+        return std::nullopt;
+    }
+    if (!background_) {
+        --inflight_;
+        Request request = std::move(pending_.front());
+        pending_.pop_front();
+        return execute(request);
+    }
+    auto response = responses_.try_pop();
+    if (!response.has_value()) {
+        return std::nullopt;
+    }
+    --inflight_;
+    return std::move(*response);
+}
+
 AsyncLoader::Response
 AsyncLoader::execute(Request &request)
 {
     Response response;
     response.block = request.block;
     response.fine = request.fine;
+    if (pool_ != nullptr) {
+        response.buffer = pool_->acquire();
+    }
     try {
         if (request.fine) {
             response.result = reader_->load_fine(*request.block,

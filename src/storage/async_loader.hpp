@@ -1,22 +1,30 @@
 /**
  * @file
- * Background block loader (Figure 6 ①).
+ * Background block loader (Figure 6 ①), now a depth-K pipeline.
  *
  * NosWalker decouples disk loading from walker processing: a dedicated
  * I/O thread keeps pulling the scheduler's chosen blocks into buffers
- * while the processing thread consumes pre-samples.  One request is in
- * flight at a time (the paper allocates "a small number of block
- * buffers"); the processing thread overlaps its work with the next
- * load.
+ * while the processing thread consumes pre-samples.  Up to `depth`
+ * requests may be outstanding at once (bounded queues); completions are
+ * consumed strictly in submission order (FIFO), which keeps the engine's
+ * admission order — and therefore walk output — independent of depth.
+ *
+ * The 0-thread mode (`background = false`) emulates the same depth-K
+ * FIFO without a thread: submissions park in a pending queue and each
+ * wait()/try_wait() executes the oldest one synchronously, so tests can
+ * diff depth 0/1/K behaviour deterministically.
  */
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <exception>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "graph/partition.hpp"
+#include "storage/block_buffer_pool.hpp"
 #include "storage/block_reader.hpp"
 #include "util/blocking_queue.hpp"
 
@@ -47,8 +55,13 @@ class AsyncLoader {
      * @param reader     the block reader to drive.
      * @param background spawn the loader thread; false = loads execute
      *                   synchronously inside wait() (0-thread mode).
+     * @param depth      maximum outstanding requests (≥ 1).
+     * @param pool       optional buffer pool; loads draw their buffers
+     *                   from it so recycled storage is reused.
      */
-    explicit AsyncLoader(BlockReader &reader, bool background = true);
+    explicit AsyncLoader(BlockReader &reader, bool background = true,
+                         std::size_t depth = 1,
+                         BlockBufferPool *pool = nullptr);
 
     /** Drains and joins the loader thread. */
     ~AsyncLoader();
@@ -56,17 +69,36 @@ class AsyncLoader {
     AsyncLoader(const AsyncLoader &) = delete;
     AsyncLoader &operator=(const AsyncLoader &) = delete;
 
-    /** Queue a load. At most one may be outstanding. */
+    /** Maximum outstanding requests. */
+    std::size_t depth() const { return depth_; }
+
+    /** Queue a load. @pre can_submit(). */
     void submit(Request request);
 
-    /** True when a submitted load has not been consumed yet. */
-    bool outstanding() const { return outstanding_; }
+    /** True when another request may be submitted. */
+    bool can_submit() const { return inflight_ < depth_; }
+
+    /** Submitted loads not yet consumed. */
+    std::size_t inflight() const { return inflight_; }
+
+    /** True when at least one submitted load has not been consumed. */
+    bool outstanding() const { return inflight_ > 0; }
 
     /**
-     * Wait for the outstanding load and return it.
+     * Wait for the oldest outstanding load and return it; rethrows the
+     * load's error, if any.
      * @pre outstanding().
      */
     Response wait();
+
+    /**
+     * Consume the oldest outstanding load if it has completed; in
+     * 0-thread mode the oldest pending load executes on the spot.
+     * Errors are reported in Response::error (not rethrown).
+     * @return nullopt when nothing is outstanding or nothing has
+     *         completed yet.
+     */
+    std::optional<Response> try_wait();
 
   private:
     Response execute(Request &request);
@@ -74,10 +106,12 @@ class AsyncLoader {
 
     BlockReader *reader_;
     bool background_;
-    bool outstanding_ = false;
-    std::optional<Request> sync_request_;
-    util::BlockingQueue<Request> requests_{1};
-    util::BlockingQueue<Response> responses_{1};
+    std::size_t depth_;
+    BlockBufferPool *pool_;
+    std::size_t inflight_ = 0;
+    std::deque<Request> pending_; ///< 0-thread mode: FIFO of submissions
+    util::BlockingQueue<Request> requests_;
+    util::BlockingQueue<Response> responses_;
     std::thread thread_;
 };
 

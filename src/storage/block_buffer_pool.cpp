@@ -1,0 +1,54 @@
+#include "storage/block_buffer_pool.hpp"
+
+#include <utility>
+
+namespace noswalker::storage {
+
+BlockBuffer
+BlockBufferPool::acquire()
+{
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+        BlockBuffer buffer = std::move(free_.back());
+        free_.pop_back();
+        ++reused_;
+        return buffer;
+    }
+    ++created_;
+    return BlockBuffer{};
+}
+
+void
+BlockBufferPool::recycle(BlockBuffer &&buffer)
+{
+    buffer.clear();
+    std::lock_guard lock(mutex_);
+    if (free_.size() >= max_free_) {
+        buffer.release_storage();
+        return;
+    }
+    free_.push_back(std::move(buffer));
+}
+
+std::uint64_t
+BlockBufferPool::created() const
+{
+    std::lock_guard lock(mutex_);
+    return created_;
+}
+
+std::uint64_t
+BlockBufferPool::reused() const
+{
+    std::lock_guard lock(mutex_);
+    return reused_;
+}
+
+std::size_t
+BlockBufferPool::free_count() const
+{
+    std::lock_guard lock(mutex_);
+    return free_.size();
+}
+
+} // namespace noswalker::storage

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Recycling pool of BlockBuffers (DESIGN.md §10).
+ *
+ * Every block load used to allocate a fresh page-span vector and take a
+ * fresh budget reservation, then drop both when the block was consumed
+ * — allocation churn on the hottest path in the engine.  The pool keeps
+ * consumed buffers at their capacity high-water mark (storage and
+ * reservation intact, see BlockBuffer::clear), so steady-state loads
+ * reuse storage and the budget charge instead of round-tripping the
+ * allocator and the accountant.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "storage/block_reader.hpp"
+
+namespace noswalker::storage {
+
+/**
+ * Thread-safe free list of BlockBuffers.
+ *
+ * The loader thread acquires, the engine thread recycles; both may run
+ * concurrently.  Buffers recycled beyond @p max_free release their
+ * storage before being dropped so an over-provisioned pool cannot pin
+ * memory forever.
+ */
+class BlockBufferPool {
+  public:
+    explicit BlockBufferPool(std::size_t max_free = 16)
+        : max_free_(max_free)
+    {
+    }
+
+    BlockBufferPool(const BlockBufferPool &) = delete;
+    BlockBufferPool &operator=(const BlockBufferPool &) = delete;
+
+    /** Take a buffer (recycled when available, fresh otherwise). */
+    BlockBuffer acquire();
+
+    /** Return a consumed buffer; capacity and reservation survive. */
+    void recycle(BlockBuffer &&buffer);
+
+    /** Buffers constructed fresh because the free list was empty. */
+    std::uint64_t created() const;
+
+    /** Acquisitions served from the free list. */
+    std::uint64_t reused() const;
+
+    /** Buffers currently parked in the free list. */
+    std::size_t free_count() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<BlockBuffer> free_;
+    std::size_t max_free_;
+    std::uint64_t created_ = 0;
+    std::uint64_t reused_ = 0;
+};
+
+} // namespace noswalker::storage

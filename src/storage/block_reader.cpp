@@ -53,11 +53,51 @@ void
 BlockBuffer::clear()
 {
     info_ = nullptr;
-    data_.clear();
-    data_.shrink_to_fit();
+    data_.clear(); // capacity (and its reservation) is retained
     valid_pages_.resize(0);
     complete_ = false;
+}
+
+void
+BlockBuffer::release_storage()
+{
+    clear();
+    std::vector<std::uint8_t>().swap(data_);
     reservation_.release();
+}
+
+void
+BlockBuffer::resize_for(const graph::BlockInfo &block,
+                        util::MemoryBudget &budget)
+{
+    const std::uint64_t aligned_begin =
+        align_down(block.byte_begin, BlockReader::kPageBytes);
+    const std::uint64_t aligned_end = align_up(
+        block.byte_begin + block.byte_size, BlockReader::kPageBytes);
+    const std::uint64_t bytes = aligned_end - aligned_begin;
+    if (reservation_.budget() != nullptr &&
+        reservation_.budget() != &budget) {
+        // Buffer migrating between budgets: drop the old charge first.
+        release_storage();
+    }
+    if (bytes > reservation_.bytes()) {
+        if (reservation_.budget() == nullptr) {
+            reservation_ = util::Reservation(budget, bytes, "block buffer");
+        } else {
+            reservation_.resize(bytes);
+        }
+    }
+    if (bytes > data_.capacity()) {
+        ++allocations_;
+    }
+    // Stale bytes past the new block's device span are never decoded
+    // (every vertex record ends before the device end), so no zeroing.
+    data_.resize(bytes);
+    info_ = &block;
+    aligned_begin_ = aligned_begin;
+    valid_pages_.resize(bytes / BlockReader::kPageBytes);
+    valid_pages_.reset();
+    complete_ = false;
 }
 
 BlockReader::BlockReader(const graph::GraphFile &file,
@@ -73,17 +113,46 @@ BlockReader::BlockReader(const graph::GraphFile &file,
 void
 BlockReader::prepare(const graph::BlockInfo &block, BlockBuffer &out)
 {
-    out.clear();
-    out.info_ = &block;
-    out.aligned_begin_ = align_down(block.byte_begin, kPageBytes);
-    const std::uint64_t aligned_end =
-        align_up(block.byte_begin + block.byte_size, kPageBytes);
-    const std::uint64_t bytes = aligned_end - out.aligned_begin_;
-    out.reservation_ =
-        util::Reservation(*budget_, bytes, "block buffer");
-    out.data_.resize(bytes);
-    out.valid_pages_.resize(bytes / kPageBytes);
+    out.resize_for(block, *budget_);
+}
+
+void
+BlockReader::mark_needed_pages(
+    const graph::BlockInfo &block,
+    std::span<const graph::VertexId> needed_vertices,
+    BlockBuffer &out) const
+{
+    util::Bitmap &pages = out.valid_pages_;
+    for (graph::VertexId v : needed_vertices) {
+        if (!block.contains(v)) {
+            continue;
+        }
+        const std::uint64_t begin = file_->vertex_byte_offset(v);
+        const std::uint64_t len = file_->vertex_byte_size(v);
+        if (len == 0) {
+            continue;
+        }
+        const std::uint64_t first_page =
+            (begin - out.aligned_begin_) / kPageBytes;
+        const std::uint64_t last_page =
+            (begin + len - 1 - out.aligned_begin_) / kPageBytes;
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+            pages.set(p);
+        }
+    }
+}
+
+void
+BlockReader::refine(const graph::BlockInfo &block,
+                    std::span<const graph::VertexId> needed_vertices,
+                    BlockBuffer &out) const
+{
+    NOSWALKER_CHECK(out.info() != nullptr &&
+                    out.info()->id == block.id);
+    NOSWALKER_CHECK(out.complete_);
     out.complete_ = false;
+    out.valid_pages_.reset();
+    mark_needed_pages(block, needed_vertices, out);
 }
 
 LoadResult
@@ -135,30 +204,24 @@ BlockReader::load_fine(const graph::BlockInfo &block,
                        BlockBuffer &out)
 {
     prepare(block, out);
-
-    // Mark the pages covering each needed vertex's record.
+    mark_needed_pages(block, needed_vertices, out);
     util::Bitmap &pages = out.valid_pages_;
-    for (graph::VertexId v : needed_vertices) {
-        if (!block.contains(v)) {
-            continue;
-        }
-        const std::uint64_t begin = file_->vertex_byte_offset(v);
-        const std::uint64_t len = file_->vertex_byte_size(v);
-        if (len == 0) {
-            continue;
-        }
-        const std::uint64_t first_page =
-            (begin - out.aligned_begin_) / kPageBytes;
-        const std::uint64_t last_page =
-            (begin + len - 1 - out.aligned_begin_) / kPageBytes;
-        for (std::uint64_t p = first_page; p <= last_page; ++p) {
-            pages.set(p);
+
+    LoadResult result;
+    if (cache_ != nullptr) {
+        if (const auto entry = cache_->find(block.id)) {
+            // The cache holds the whole coarse image; serve the marked
+            // pages from it with a memcpy instead of device I/O.
+            NOSWALKER_CHECK(entry->bytes.size() <= out.data_.size());
+            std::copy(entry->bytes.begin(), entry->bytes.end(),
+                      out.data_.begin());
+            result.from_cache = true;
+            return result;
         }
     }
 
     // Coalesce runs of marked pages into single requests (bounded by
     // max_request_) and read them into place.
-    LoadResult result;
     const std::uint64_t device_end = file_->device().size();
     const std::uint64_t num_pages = pages.size();
     std::uint64_t p = 0;

@@ -53,8 +53,32 @@ class BlockBuffer {
     /** Bytes currently held by the buffer. */
     std::uint64_t capacity_bytes() const { return data_.size(); }
 
-    /** Release the data and detach from the block. */
+    /** Device offset of the buffer's first byte. */
+    std::uint64_t aligned_begin() const { return aligned_begin_; }
+
+    /** Read-only view of the held bytes. */
+    std::span<const std::uint8_t> bytes() const { return data_; }
+
+    /**
+     * Detach from the block but retain the storage (and its budget
+     * reservation) for the next load — a recycled buffer at its
+     * capacity high-water mark never reallocates or re-reserves.
+     */
     void clear();
+
+    /** Release the storage and its reservation (full reset). */
+    void release_storage();
+
+    /**
+     * Attach to @p block, sizing the storage for its page-aligned span.
+     * The reservation against @p budget only grows past the high-water
+     * mark; shrinking loads reuse the existing allocation untouched.
+     */
+    void resize_for(const graph::BlockInfo &block,
+                    util::MemoryBudget &budget);
+
+    /** Storage-growth events since construction (reuse telemetry). */
+    std::uint64_t allocations() const { return allocations_; }
 
   private:
     friend class BlockReader;
@@ -65,6 +89,7 @@ class BlockBuffer {
     util::Bitmap valid_pages_; ///< fine mode: which pages are resident
     bool complete_ = false;
     util::Reservation reservation_;
+    std::uint64_t allocations_ = 0;
 };
 
 /** Result of one load operation. */
@@ -109,12 +134,28 @@ class BlockReader {
                          std::span<const graph::VertexId> needed_vertices,
                          BlockBuffer &out);
 
+    /**
+     * Narrow a coarse (complete) buffer of @p block to a fine-mode view
+     * exposing only the pages covering @p needed_vertices, without any
+     * I/O.  Bit-identical residency to a fresh load_fine of the same
+     * needed list — used to serve a fine demand from a speculatively
+     * coarse-loaded buffer.
+     */
+    void refine(const graph::BlockInfo &block,
+                std::span<const graph::VertexId> needed_vertices,
+                BlockBuffer &out) const;
+
     /** The graph file being read. */
     const graph::GraphFile &file() const { return *file_; }
 
   private:
     /** Attach @p out to @p block and size its buffer (budgeted). */
     void prepare(const graph::BlockInfo &block, BlockBuffer &out);
+
+    /** Mark in @p out the pages covering each needed vertex's record. */
+    void mark_needed_pages(const graph::BlockInfo &block,
+                           std::span<const graph::VertexId> needed_vertices,
+                           BlockBuffer &out) const;
 
     const graph::GraphFile *file_;
     util::MemoryBudget *budget_;

@@ -21,6 +21,7 @@ SsdModel::p4618()
     SsdModel m;
     m.seq_bandwidth = 3.1 * static_cast<double>(1ULL << 30);
     m.iops = 600'000.0;
+    m.queue_latency = 80e-6;
     return m;
 }
 
@@ -30,6 +31,7 @@ SsdModel::raid0_s4610()
     SsdModel m;
     m.seq_bandwidth = 3.4 * static_cast<double>(1ULL << 30);
     m.iops = 150'000.0;
+    m.queue_latency = 150e-6;
     return m;
 }
 
@@ -39,6 +41,7 @@ SsdModel::instant()
     SsdModel m;
     m.seq_bandwidth = 0.0;
     m.iops = 0.0;
+    m.queue_latency = 0.0;
     return m;
 }
 

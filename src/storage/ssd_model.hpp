@@ -27,6 +27,14 @@ struct SsdModel {
     double iops = 600'000.0;
     /** Smallest addressable request (one SSD page). */
     std::uint32_t page_bytes = 4096;
+    /**
+     * Submission-to-device latency of one request, seconds (queueing +
+     * firmware turnaround).  Not part of request_seconds: a deep queue
+     * hides it, so only the prefetch-pipeline timeline charges it —
+     * once per request at depth 1, amortized across the queue at
+     * depth K (DESIGN.md §10).
+     */
+    double queue_latency = 80e-6;
 
     /** Modeled seconds for a single request of @p len bytes. */
     double request_seconds(std::uint64_t len) const;

@@ -144,6 +144,9 @@ class Reservation {
     /** Bytes held by this reservation. */
     std::uint64_t bytes() const { return bytes_; }
 
+    /** The budget this reservation charges (nullptr when empty). */
+    MemoryBudget *budget() const { return budget_; }
+
     /** Grow or shrink the reservation to @p new_bytes. */
     void resize(std::uint64_t new_bytes);
 

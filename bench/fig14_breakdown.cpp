@@ -110,8 +110,8 @@ run_prefetch_ablation(bench::BenchEnv &env)
                 "io_wait, identical walk output\n",
                 h.spec.name.c_str());
     bench::print_table_header(
-        "Prefetch", {"depth", "io_wait(s)", "hits", "mispredicts",
-                     "io_wait vs depth1"});
+        "Prefetch", {"depth", "io_wait(s)", "modeled_s", "hits",
+                     "mispredicts", "io_wait vs depth1"});
     double depth1_wait = 0.0;
     for (const unsigned depth : {1u, 4u}) {
         apps::BasicRandomWalk app(10, v);
@@ -128,6 +128,7 @@ run_prefetch_ablation(bench::BenchEnv &env)
         bench::print_table_row(
             {std::to_string(depth),
              bench::fmt_double(s.io_wait_seconds, 6),
+             bench::fmt_double(s.modeled_seconds(), 6),
              bench::fmt_count(s.prefetch_hits),
              bench::fmt_count(s.prefetch_mispredicts),
              bench::fmt_double(ratio, 2)});
@@ -144,6 +145,7 @@ run_prefetch_ablation(bench::BenchEnv &env)
             record.extras = {
                 {"prefetch_depth", static_cast<double>(depth)},
                 {"io_wait_seconds", s.io_wait_seconds},
+                {"modeled_seconds", s.modeled_seconds()},
                 {"io_wait_vs_depth1", ratio},
                 {"prefetch_hits",
                  static_cast<double>(s.prefetch_hits)},

@@ -19,6 +19,7 @@
 #include "apps/basic_rw.hpp"
 #include "bench_common.hpp"
 #include "core/noswalker_engine.hpp"
+#include "core/prefetch_pipeline.hpp"
 #include "core/presample_buffer.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_file.hpp"
@@ -27,7 +28,9 @@
 #include "storage/block_buffer_pool.hpp"
 #include "storage/block_reader.hpp"
 #include "storage/mem_device.hpp"
+#include "storage/shared_block_cache.hpp"
 #include "util/alias_table.hpp"
+#include "util/memory_budget.hpp"
 #include "util/rng.hpp"
 
 using namespace noswalker;
@@ -233,8 +236,8 @@ run_prefetch_ablation(bench::JsonReporter &json)
                 static_cast<unsigned>(n),
                 static_cast<unsigned>(f.partition->num_blocks()));
     bench::print_table_header(
-        "Prefetch", {"depth", "io_wait(s)", "hits", "mispredicts",
-                     "io_wait vs depth1"});
+        "Prefetch", {"depth", "io_wait(s)", "modeled_s", "hits",
+                     "mispredicts", "io_wait vs depth1"});
     double depth1_wait = 0.0;
     for (const unsigned depth : {0u, 1u, 2u, 4u}) {
         apps::BasicRandomWalk app(10, n);
@@ -252,6 +255,7 @@ run_prefetch_ablation(bench::JsonReporter &json)
         bench::print_table_row(
             {std::to_string(depth),
              bench::fmt_double(s.io_wait_seconds, 6),
+             bench::fmt_double(s.modeled_seconds(), 6),
              bench::fmt_count(s.prefetch_hits),
              bench::fmt_count(s.prefetch_mispredicts),
              depth >= 1 ? bench::fmt_double(ratio, 2) : "-"});
@@ -266,9 +270,106 @@ run_prefetch_ablation(bench::JsonReporter &json)
         record.extras = {
             {"prefetch_depth", static_cast<double>(depth)},
             {"io_wait_seconds", s.io_wait_seconds},
+            {"modeled_seconds", s.modeled_seconds()},
             {"prefetch_hits", static_cast<double>(s.prefetch_hits)},
             {"prefetch_mispredicts",
              static_cast<double>(s.prefetch_mispredicts)},
+        };
+        json.add(std::move(record));
+    }
+}
+
+/**
+ * Reorder-window ablation on a mixed coarse/fine pipeline workload:
+ * per group, three slow coarse speculative loads are in flight when a
+ * cache-warm block is demanded (zero device I/O) and one speculated
+ * block is then claimed as a fine demand; the other two are
+ * mispredicted.  Strict FIFO consumption (window 0) must wait out
+ * every queued load before the warm demand; a reorder window serves
+ * the completed demand past the slow heads, so its modeled io_wait is
+ * strictly lower.
+ */
+void
+run_reorder_ablation(bench::JsonReporter &json)
+{
+    MicroFixture &f = fixture();
+    // Coarser blocks than the micro partition: the slow heads should
+    // be transfer-bound, not queue-latency-bound.
+    graph::BlockPartition partition(*f.file,
+                                    f.file->edge_region_bytes() / 8);
+    const std::uint32_t blocks = partition.num_blocks();
+    const double queue_latency = f.file->device().model().queue_latency;
+    std::printf("\nReorder-window ablation: mixed coarse/fine groups, "
+                "depth 4, %u blocks\n", static_cast<unsigned>(blocks));
+    bench::print_table_header(
+        "Reorder", {"window", "io_wait(s)", "hits", "mispredicts",
+                    "io_wait vs fifo"});
+    double fifo_wait = 0.0;
+    for (const unsigned window : {0u, 2u, 4u}) {
+        util::MemoryBudget budget;
+        storage::SharedBlockCache cache(256ULL << 20);
+        storage::BlockReader reader(*f.file, budget, 8ULL << 20, &cache);
+        // Warm every fourth block: published to the cache on miss.
+        for (std::uint32_t id = 0; id + 3 < blocks; id += 4) {
+            storage::BlockBuffer warm;
+            reader.load_coarse(partition.block(id), warm);
+            warm.release_storage();
+        }
+        core::PrefetchPipeline::Stats total;
+        for (std::uint32_t base = 0; base + 3 < blocks; base += 4) {
+            storage::BlockBufferPool pool;
+            storage::AsyncLoader loader(reader, /*background=*/false,
+                                        /*depth=*/4, &pool);
+            core::PrefetchPipeline pipeline(loader, reader, pool,
+                                            /*depth=*/4, &cache,
+                                            queue_latency, window);
+            for (std::uint32_t off = 1; off <= 3; ++off) {
+                pipeline.speculate(partition.block(base + off));
+            }
+            storage::AsyncLoader::Request warm;
+            warm.block = &partition.block(base); // cache hit
+            auto served = pipeline.obtain(std::move(warm));
+            pipeline.recycle(std::move(served.buffer));
+            const graph::BlockInfo &claimed = partition.block(base + 1);
+            storage::AsyncLoader::Request fine;
+            fine.block = &claimed;
+            fine.fine = true;
+            for (graph::VertexId v = claimed.first_vertex;
+                 v < claimed.end_vertex; v += 7) {
+                fine.needed.push_back(v);
+            }
+            served = pipeline.obtain(std::move(fine));
+            pipeline.recycle(std::move(served.buffer));
+            pipeline.finish(); // base+2, base+3 are mispredicted
+            const core::PrefetchPipeline::Stats &s = pipeline.stats();
+            total.io_wait_seconds += s.io_wait_seconds;
+            total.prefetch_hits += s.prefetch_hits;
+            total.fine_loads += s.fine_loads;
+            total.prefetch_mispredicts += s.prefetch_mispredicts;
+        }
+        if (window == 0) {
+            fifo_wait = total.io_wait_seconds;
+        }
+        const double ratio = fifo_wait > 0.0
+                                 ? total.io_wait_seconds / fifo_wait
+                                 : 0.0;
+        bench::print_table_row(
+            {std::to_string(window),
+             bench::fmt_double(total.io_wait_seconds, 6),
+             bench::fmt_count(total.prefetch_hits),
+             bench::fmt_count(total.prefetch_mispredicts),
+             bench::fmt_double(ratio, 2)});
+        bench::JsonRecord record;
+        record.engine = "noswalker";
+        record.dataset = "rmat-micro";
+        record.workload =
+            "prefetch_reorder_window_" + std::to_string(window);
+        record.extras = {
+            {"reorder_window", static_cast<double>(window)},
+            {"io_wait_seconds", total.io_wait_seconds},
+            {"prefetch_hits", static_cast<double>(total.prefetch_hits)},
+            {"prefetch_mispredicts",
+             static_cast<double>(total.prefetch_mispredicts)},
         };
         json.add(std::move(record));
     }
@@ -299,5 +400,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     run_prefetch_ablation(json);
+    run_reorder_ablation(json);
     return 0;
 }

@@ -16,7 +16,12 @@ echo
 echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader' --output-on-failure
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache' --output-on-failure
+
+echo
+echo "== tier 1: prefetch smoke (reorder-window + depth ablations) =="
+ctest --test-dir build -R 'Prefetch' --output-on-failure -j "$JOBS"
+./build/bench/micro_storage --benchmark_filter=BM_SsdModelRequest --benchmark_min_time=0.01 >/dev/null
 
 echo
 echo "tier 1 passed"

@@ -24,6 +24,10 @@ EngineConfig::validate() const
         throw util::ConfigError(
             "EngineConfig: prefetch_depth must be <= 64");
     }
+    if (prefetch_reorder_window > 64) {
+        throw util::ConfigError(
+            "EngineConfig: prefetch_reorder_window must be <= 64");
+    }
     // The fractions apply sequentially (pool from the post-index
     // remainder, pre-samples from what is left after the pool), so
     // each only needs to be a valid fraction on its own.

@@ -77,6 +77,16 @@ struct EngineConfig {
      */
     unsigned prefetch_depth = 2;
 
+    /**
+     * Completed prefetch loads that may be consumed out of submission
+     * order, past older still-outstanding loads (0 = strict FIFO
+     * consumption; >= prefetch_depth = fully out of order).  Purely a
+     * stall-accounting/latency knob: byte-arrival order changes, the
+     * processed-block schedule — and therefore walk output — does not
+     * (DESIGN.md §10).
+     */
+    unsigned prefetch_reorder_window = 2;
+
     // --- Fig 14 breakdown knobs (all on = full NosWalker) ---
 
     /** Optimization (1): dynamic walker generation, no state swapping. */

@@ -162,7 +162,8 @@ class NosWalkerEngine {
             std::max<std::size_t>(prefetch_slots_, 1), &buffer_pool);
         PrefetchPipeline pipeline(
             loader, reader, buffer_pool, prefetch_slots_, shared_cache_,
-            file_->device().model().queue_latency);
+            file_->device().model().queue_latency,
+            config_.prefetch_reorder_window);
         const storage::IoStats io_before = file_->device().stats();
 
         App &a = app;

@@ -13,9 +13,11 @@ PrefetchPipeline::PrefetchPipeline(storage::AsyncLoader &loader,
                                    storage::BlockBufferPool &pool,
                                    std::size_t depth,
                                    storage::SharedBlockCache *cache,
-                                   double queue_latency)
+                                   double queue_latency,
+                                   std::size_t reorder_window)
     : loader_(&loader), reader_(&reader), pool_(&pool), depth_(depth),
-      cache_(cache), queue_latency_(queue_latency)
+      cache_(cache), queue_latency_(queue_latency),
+      window_(reorder_window)
 {
     NOSWALKER_CHECK(loader.depth() >= std::max<std::size_t>(depth, 1));
 }
@@ -73,9 +75,14 @@ PrefetchPipeline::speculate(const graph::BlockInfo &block)
     storage::AsyncLoader::Request request;
     request.block = &block;
     request.fine = false;
-    inflight_.push_back({block.id, now_});
     ++stats_.speculative_loads;
-    loader_->submit(std::move(request));
+    // The scheduler picked this block as hot just now: remember the
+    // heat for the demotion admission filter.
+    last_hot_[block.id] = sweep_epoch_;
+    const double submitted = now_;
+    const std::uint64_t seq = loader_->submit(std::move(request));
+    inflight_.push_back({block.id, submitted, seq, true});
+    unconsumed_.push_back({seq, block.id, 0.0, false});
 }
 
 double
@@ -117,19 +124,78 @@ PrefetchPipeline::charge_wait(double ready_at)
     }
 }
 
-PrefetchPipeline::Parked
-PrefetchPipeline::consume_blocking()
+void
+PrefetchPipeline::record_ready(std::uint64_t seq, double ready_at)
+{
+    for (Unconsumed &u : unconsumed_) {
+        if (u.seq == seq) {
+            u.ready_at = ready_at;
+            u.banked = true;
+            return;
+        }
+    }
+}
+
+void
+PrefetchPipeline::forget_unconsumed(std::uint64_t seq)
+{
+    for (auto it = unconsumed_.begin(); it != unconsumed_.end(); ++it) {
+        if (it->seq == seq) {
+            unconsumed_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+PrefetchPipeline::apply_window_charges(std::uint64_t seq)
+{
+    // Entries are ticket-ordered, so the loads this serve would bypass
+    // form a prefix of the deque.
+    std::size_t older = 0;
+    while (older < unconsumed_.size() && unconsumed_[older].seq < seq) {
+        ++older;
+    }
+    if (older <= window_) {
+        return;
+    }
+    // FIFO discipline for all but the newest window_ of them: they
+    // pass the consumer first, so their modeled completion times are
+    // charged.  Each has necessarily been banked already — the serial
+    // loader completes requests in ticket order and the newer target
+    // is in hand — so the ready times are known.
+    std::size_t passes = older - window_;
+    while (passes-- > 0) {
+        const Unconsumed front = unconsumed_.front();
+        unconsumed_.pop_front();
+        NOSWALKER_CHECK(front.banked);
+        charge_wait(front.ready_at);
+    }
+}
+
+void
+PrefetchPipeline::bank_response(storage::AsyncLoader::Response response)
 {
     NOSWALKER_CHECK(!inflight_.empty());
     const Inflight head = inflight_.front();
     inflight_.pop_front();
-    storage::AsyncLoader::Response response = loader_->wait();
     NOSWALKER_CHECK(response.block != nullptr &&
-                    response.block->id == head.block);
+                    response.block->id == head.block &&
+                    response.ticket == head.seq);
+    // Banked without charging the clock: the consumer is not blocked
+    // on this load.  The reorder window decides at serve time whether
+    // its completion must be waited out before a newer block.
     const double ready = finish_time(response, head.submitted);
-    charge_wait(ready);
     account(response);
-    return Parked{std::move(response), ready};
+    record_ready(head.seq, ready);
+    admitted_.emplace(head.block, Parked{std::move(response), ready,
+                                         head.seq, head.speculative});
+}
+
+void
+PrefetchPipeline::bank_next_blocking()
+{
+    bank_response(loader_->consume_any());
 }
 
 void
@@ -143,17 +209,7 @@ PrefetchPipeline::poll()
         if (response->error) {
             std::rethrow_exception(response->error);
         }
-        const Inflight head = inflight_.front();
-        inflight_.pop_front();
-        NOSWALKER_CHECK(response->block != nullptr &&
-                        response->block->id == head.block);
-        // Banked without charging the clock: the consumer was not
-        // blocked.  The modeled completion may still lie in the future;
-        // obtain() charges the remainder when the block is chosen.
-        const double ready = finish_time(*response, head.submitted);
-        account(*response);
-        admitted_.emplace(head.block,
-                          Parked{std::move(*response), ready});
+        bank_response(std::move(*response));
     }
 }
 
@@ -177,6 +233,8 @@ PrefetchPipeline::obtain(storage::AsyncLoader::Request demand)
     if (const auto it = stash_.find(id); it != stash_.end()) {
         Parked parked = std::move(it->second);
         stash_.erase(it);
+        apply_window_charges(parked.seq);
+        forget_unconsumed(parked.seq);
         charge_wait(parked.ready_at);
         ++stats_.prefetch_hits;
         return adapt(std::move(parked.response), demand);
@@ -184,6 +242,8 @@ PrefetchPipeline::obtain(storage::AsyncLoader::Request demand)
     if (const auto it = admitted_.find(id); it != admitted_.end()) {
         Parked parked = std::move(it->second);
         admitted_.erase(it);
+        apply_window_charges(parked.seq);
+        forget_unconsumed(parked.seq);
         charge_wait(parked.ready_at);
         ++stats_.prefetch_hits;
         return adapt(std::move(parked.response), demand);
@@ -194,54 +254,101 @@ PrefetchPipeline::obtain(storage::AsyncLoader::Request demand)
         [id](const Inflight &f) { return f.block == id; });
     if (!speculated) {
         ++stats_.demand_loads;
-        // All loader slots may be occupied by speculation; drain the
-        // FIFO head(s) into the admitted set until one frees up.
+        // All loader slots may be occupied by speculation: bank the
+        // oldest completion(s) until one frees up.  No charge — the
+        // window rule below decides what must be waited out.
         while (!loader_->can_submit()) {
-            Parked parked = consume_blocking();
-            const std::uint32_t done = parked.response.block->id;
-            admitted_.emplace(done, std::move(parked));
+            bank_next_blocking();
         }
-        inflight_.push_back({id, now_});
-        loader_->submit(std::move(demand));
+        const double submitted = now_;
+        const std::uint64_t seq = loader_->submit(std::move(demand));
+        inflight_.push_back({id, submitted, seq, false});
+        unconsumed_.push_back({seq, id, 0.0, false});
     }
-    for (;;) {
-        Parked parked = consume_blocking();
-        if (parked.response.block->id == id) {
-            if (speculated) {
-                // `demand` is intact here: it was only moved on the
-                // demand-load path, which delivers its own fine list.
-                ++stats_.prefetch_hits;
-                return adapt(std::move(parked.response), demand);
+
+    // Bring the target's completion into hand.  Fast path: it already
+    // completed — pluck it out of submission order.  The loads ahead
+    // of it have then necessarily completed too (the serial loader
+    // finishes requests in ticket order), so bank them first, keeping
+    // the modeled device timeline in submission order.
+    Parked parked;
+    if (auto ready = loader_->try_consume(id); ready.has_value()) {
+        if (ready->error) {
+            std::rethrow_exception(ready->error);
+        }
+        while (!inflight_.empty() && inflight_.front().block != id) {
+            auto older = loader_->try_wait();
+            NOSWALKER_CHECK(older.has_value());
+            if (older->error) {
+                std::rethrow_exception(older->error);
             }
-            return std::move(parked.response);
+            bank_response(std::move(*older));
         }
-        // A speculative load ahead of the target in the FIFO: bank it.
-        const std::uint32_t done = parked.response.block->id;
-        admitted_.emplace(done, std::move(parked));
+        NOSWALKER_CHECK(!inflight_.empty());
+        const Inflight head = inflight_.front();
+        inflight_.pop_front();
+        NOSWALKER_CHECK(ready->block->id == head.block &&
+                        ready->ticket == head.seq);
+        const double at = finish_time(*ready, head.submitted);
+        account(*ready);
+        record_ready(head.seq, at);
+        parked =
+            Parked{std::move(*ready), at, head.seq, head.speculative};
+    } else {
+        // The target is still loading: bank completions in ticket
+        // order (blocking) until it lands.
+        while (admitted_.find(id) == admitted_.end()) {
+            bank_next_blocking();
+        }
+        auto it = admitted_.find(id);
+        parked = std::move(it->second);
+        admitted_.erase(it);
     }
+    apply_window_charges(parked.seq);
+    forget_unconsumed(parked.seq);
+    charge_wait(parked.ready_at);
+    if (parked.speculative) {
+        // `demand` is intact here: it was only moved on the
+        // demand-load path, whose load delivers its own fine list.
+        ++stats_.prefetch_hits;
+        return adapt(std::move(parked.response), demand);
+    }
+    return std::move(parked.response);
 }
 
 void
 PrefetchPipeline::sweep(const BlockScheduler &scheduler)
 {
+    ++sweep_epoch_;
     for (auto it = admitted_.begin(); it != admitted_.end();) {
         if (scheduler.count(it->first) != 0) {
+            last_hot_[it->first] = sweep_epoch_;
             ++it;
             continue;
         }
         // Misprediction: the bucket drained before the block was
         // chosen.  Demote — publish the coarse bytes to the shared
-        // cache and park the buffer in the stash for a re-steer.
+        // cache and park the buffer in the stash for a re-steer.  The
+        // unconsumed entry stays: FIFO accounting for the bypassed
+        // load is the window rule's decision, not demotion's.
         ++stats_.prefetch_mispredicts;
         Parked parked = std::move(it->second);
         it = admitted_.erase(it);
         const storage::BlockBuffer &buffer = parked.response.buffer;
         const std::uint32_t id = parked.response.block->id;
         if (cache_ != nullptr && buffer.complete()) {
-            const auto bytes = buffer.bytes();
-            cache_->insert(id, buffer.aligned_begin(),
-                           std::vector<std::uint8_t>(bytes.begin(),
-                                                     bytes.end()));
+            const auto hot = last_hot_.find(id);
+            if (hot != last_hot_.end() &&
+                sweep_epoch_ - hot->second <= kAdmissionSweeps) {
+                const auto bytes = buffer.bytes();
+                cache_->insert(id, buffer.aligned_begin(),
+                               std::vector<std::uint8_t>(bytes.begin(),
+                                                         bytes.end()));
+            } else {
+                // Stale speculation: publishing would only dilute hot
+                // service tenants.
+                ++stats_.filtered_demotions;
+            }
         }
         if (stash_.size() >= std::max<std::size_t>(depth_, 1)) {
             auto victim = stash_.begin();
@@ -261,9 +368,10 @@ PrefetchPipeline::finish()
         // without charging the io-wait clock.
         const Inflight head = inflight_.front();
         inflight_.pop_front();
-        storage::AsyncLoader::Response response = loader_->wait();
+        storage::AsyncLoader::Response response = loader_->consume_any();
         NOSWALKER_CHECK(response.block != nullptr &&
-                        response.block->id == head.block);
+                        response.block->id == head.block &&
+                        response.ticket == head.seq);
         finish_time(response, head.submitted);
         account(response);
         ++stats_.prefetch_mispredicts;
@@ -279,6 +387,8 @@ PrefetchPipeline::finish()
         recycle(std::move(parked.response.buffer));
     }
     stash_.clear();
+    unconsumed_.clear();
+    last_hot_.clear();
 }
 
 void

@@ -6,7 +6,7 @@
  * AsyncLoader.  The engine always *processes* the scheduler's hottest
  * block — speculation only changes how that block's bytes arrive: from
  * the speculation stash, from an already-completed load, by draining
- * the FIFO, or by a demand load as a last resort.  Because delivery
+ * the loader, or by a demand load as a last resort.  Because delivery
  * never alters which block is processed next, walk output is
  * bit-identical at every prefetch depth.
  *
@@ -19,8 +19,23 @@
  *
  * A speculatively loaded block whose walker bucket drained before it
  * was chosen is *demoted*, never discarded: its bytes are published to
- * the shared block cache (when attached) and parked in a bounded stash
- * for a later re-steer; `prefetch_mispredicts` counts each demotion.
+ * the shared block cache (when attached and the block had recent
+ * scheduler heat — a stale block would only dilute hot service
+ * tenants) and parked in a bounded stash for a later re-steer;
+ * `prefetch_mispredicts` counts each demotion and
+ * `filtered_demotions` the ones the admission filter kept out of the
+ * shared cache.
+ *
+ * Completion consumption is out-of-order behind a bounded *reorder
+ * window*: every request is ticketed, per-request modeled completion
+ * times are fixed in submission order (requests serialize on the
+ * modeled device), but a demand for an already-completed block is
+ * served even while an older, slower load is still outstanding.  The
+ * window bounds the bypass: all but the newest `reorder_window` older
+ * unconsumed loads must pass the consumer (their completion times are
+ * charged) before a newer block may be served.  `reorder_window = 0`
+ * recovers strict FIFO consumption; `reorder_window >= depth` is fully
+ * out of order.
  *
  * Stall accounting runs on a modeled timeline: the clock advances only
  * when the engine blocks on a load (compute is modeled as fully
@@ -29,7 +44,8 @@
  * cache hits complete at submission.  io_wait_seconds is therefore a
  * deterministic, machine-independent function of the run — at depth 1
  * every load pays the queue latency; at depth K the latency amortizes
- * across the queue.
+ * across the queue, and the reorder window keeps one slow fine-mode
+ * load at the head from stalling completed loads behind it.
  */
 #pragma once
 
@@ -50,12 +66,19 @@ namespace noswalker::core {
 /** Drives an AsyncLoader as a depth-K speculative prefetch pipeline. */
 class PrefetchPipeline {
   public:
+    /** Sweeps of scheduler heat a demoted block may be stale before the
+     *  admission filter keeps it out of the shared cache. */
+    static constexpr std::uint64_t kAdmissionSweeps = 8;
+
     /** Aggregated pipeline counters (folded into RunStats). */
     struct Stats {
         /** Demands served from a speculative load (stash/admitted/FIFO). */
         std::uint64_t prefetch_hits = 0;
         /** Speculative loads demoted unprocessed (bucket drained). */
         std::uint64_t prefetch_mispredicts = 0;
+        /** Demotions the admission filter kept out of the shared cache
+         *  (no scheduler heat within kAdmissionSweeps sweeps). */
+        std::uint64_t filtered_demotions = 0;
         std::uint64_t speculative_loads = 0;
         std::uint64_t demand_loads = 0;
         /** Per-response totals of every consumed load (incl. demoted). */
@@ -71,18 +94,21 @@ class PrefetchPipeline {
 
     /**
      * @param loader  the depth-K loader to drive (its depth bounds the
-     *        FIFO; must be ≥ max(1, depth)).
+     *        outstanding set; must be ≥ max(1, depth)).
      * @param reader  used to refine coarse buffers for fine demands.
      * @param pool    consumed buffers are recycled here.
      * @param depth   speculative slots (0 = demand loading only).
      * @param cache   optional shared cache demoted loads publish to.
      * @param queue_latency  per-request submission latency, seconds.
+     * @param reorder_window  completed loads that may be consumed past
+     *        older outstanding ones (0 = strict FIFO consumption).
      */
     PrefetchPipeline(storage::AsyncLoader &loader,
                      storage::BlockReader &reader,
                      storage::BlockBufferPool &pool, std::size_t depth,
                      storage::SharedBlockCache *cache,
-                     double queue_latency);
+                     double queue_latency,
+                     std::size_t reorder_window = 0);
 
     ~PrefetchPipeline();
 
@@ -91,6 +117,9 @@ class PrefetchPipeline {
 
     /** Speculative slots (0 = speculation disabled). */
     std::size_t depth() const { return depth_; }
+
+    /** Reorder window (0 = strict FIFO consumption). */
+    std::size_t reorder_window() const { return window_; }
 
     /**
      * True when another speculative load may start: a slot is free
@@ -114,16 +143,19 @@ class PrefetchPipeline {
     /**
      * Deliver the block of @p demand, preferring speculative results
      * over issuing the demand load.  Blocking waits charge the modeled
-     * io-wait clock.  A coarse speculative result serving a fine demand
-     * is refined to the demand's needed list.
+     * io-wait clock, subject to the reorder window.  A coarse
+     * speculative result serving a fine demand is refined to the
+     * demand's needed list.
      */
     storage::AsyncLoader::Response
     obtain(storage::AsyncLoader::Request demand);
 
     /**
      * Demote completed speculative loads whose walker bucket drained
-     * (count == 0 in @p scheduler): publish to the shared cache, park
-     * in the stash, and count a mispredict.
+     * (count == 0 in @p scheduler): publish to the shared cache when
+     * the block had scheduler heat within the last kAdmissionSweeps
+     * sweeps (else count a filtered demotion), park in the stash, and
+     * count a mispredict.
      */
     void sweep(const BlockScheduler &scheduler);
 
@@ -140,20 +172,61 @@ class PrefetchPipeline {
     const Stats &stats() const { return stats_; }
 
   private:
-    /** A completed speculative load waiting to be chosen. */
+    /** A completed load waiting to be chosen. */
     struct Parked {
         storage::AsyncLoader::Response response;
         /** Modeled completion time on the pipeline clock. */
         double ready_at = 0.0;
+        /** Submission ticket (consumption-order accounting). */
+        std::uint64_t seq = 0;
+        /** False only for the demand load of the serving obtain(). */
+        bool speculative = true;
     };
 
     struct Inflight {
         std::uint32_t block = 0;
         double submitted = 0.0;
+        std::uint64_t seq = 0;
+        bool speculative = true;
     };
 
-    /** Consume the FIFO head, blocking; charges the io-wait clock. */
-    Parked consume_blocking();
+    /**
+     * A submitted load that has not yet passed the consumer — served,
+     * or charged as part of a window prefix.  Demotion does *not*
+     * remove an entry: whether a mispredicted load must be waited out
+     * under FIFO discipline is decided by the window rule, never by
+     * (arrival-order-dependent) demotion timing, keeping the modeled
+     * accounting identical across loader threading modes.
+     */
+    struct Unconsumed {
+        std::uint64_t seq = 0;
+        std::uint32_t block = 0;
+        /** Modeled completion time; valid once banked. */
+        double ready_at = 0.0;
+        bool banked = false;
+    };
+
+    /**
+     * Consume the oldest outstanding load (blocking) and bank it in
+     * the admitted set without charging the io-wait clock.
+     */
+    void bank_next_blocking();
+
+    /** Bank one already-completed response for the in-flight head. */
+    void bank_response(storage::AsyncLoader::Response response);
+
+    /**
+     * Enforce the reorder window before serving seq @p seq: all but
+     * the newest window_ older unconsumed loads pass the consumer,
+     * charging their modeled completion times.
+     */
+    void apply_window_charges(std::uint64_t seq);
+
+    /** Drop @p seq from the unconsumed ordering (it was served). */
+    void forget_unconsumed(std::uint64_t seq);
+
+    /** Record the modeled completion time of ticket @p seq. */
+    void record_ready(std::uint64_t seq, double ready_at);
 
     /** Modeled completion time of @p response submitted at @p submitted. */
     double finish_time(const storage::AsyncLoader::Response &response,
@@ -176,11 +249,20 @@ class PrefetchPipeline {
     std::size_t depth_;
     storage::SharedBlockCache *cache_;
     double queue_latency_;
+    std::size_t window_;
 
     std::deque<Inflight> inflight_;
+    /** Submission-ordered loads not yet served or demoted; the reorder
+     *  window is enforced against this sequence. */
+    std::deque<Unconsumed> unconsumed_;
     /** Ordered maps: sweep/finish iterate deterministically. */
     std::map<std::uint32_t, Parked> admitted_;
     std::map<std::uint32_t, Parked> stash_;
+
+    /** Sweep epoch and last sweep each block had scheduler heat, for
+     *  the demotion admission filter. */
+    std::uint64_t sweep_epoch_ = 0;
+    std::map<std::uint32_t, std::uint64_t> last_hot_;
 
     /** Modeled pipeline clock (advances only on blocking waits). */
     double now_ = 0.0;

@@ -11,7 +11,11 @@ RunStats::modeled_seconds() const
     const double eff = io_efficiency > 0.0 ? io_efficiency : 1.0;
     const double io = io_busy_seconds / eff;
     if (pipelined) {
-        return std::max(io, cpu_seconds);
+        // Loading and stepping overlap, so the busy phases run at the
+        // pace of the slower one — but the seconds the consumer
+        // provably blocked on loads (io_wait_seconds) are covered by
+        // neither phase and stretch the total.
+        return std::max(io, cpu_seconds) + io_wait_seconds;
     }
     return io + cpu_seconds;
 }

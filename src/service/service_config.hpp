@@ -62,6 +62,13 @@ struct ServiceConfig {
      */
     unsigned prefetch_depth = 2;
 
+    /**
+     * Per-engine reorder window for prefetch consumption (see
+     * EngineConfig::prefetch_reorder_window): completed loads that may
+     * be served past older outstanding ones.  0 = strict FIFO.
+     */
+    unsigned prefetch_reorder_window = 2;
+
     /** Engine walker-pool cap per run (0 = derive from the budget). */
     std::uint64_t max_walkers = 0;
 

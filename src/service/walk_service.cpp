@@ -37,6 +37,10 @@ ServiceConfig::validate() const
     if (prefetch_depth > 64) {
         throw util::ConfigError("service: prefetch_depth must be <= 64");
     }
+    if (prefetch_reorder_window > 64) {
+        throw util::ConfigError(
+            "service: prefetch_reorder_window must be <= 64");
+    }
     if (max_batch == 0) {
         throw util::ConfigError("service: max_batch must be >= 1");
     }
@@ -115,6 +119,7 @@ class BatchRunner {
         ec.max_walkers = config.max_walkers;
         ec.step_threads = config.step_threads;
         ec.prefetch_depth = config.prefetch_depth;
+        ec.prefetch_reorder_window = config.prefetch_reorder_window;
         return ec;
     }
 

@@ -27,39 +27,91 @@ AsyncLoader::~AsyncLoader()
     }
 }
 
-void
+std::uint64_t
 AsyncLoader::submit(Request request)
 {
     NOSWALKER_CHECK(can_submit());
     NOSWALKER_CHECK(request.block != nullptr);
+    const std::uint64_t ticket = next_ticket_++;
+    request.ticket = ticket;
     ++inflight_;
     if (background_) {
         requests_.push(std::move(request));
     } else {
         pending_.push_back(std::move(request));
     }
+    return ticket;
+}
+
+void
+AsyncLoader::drain_ready()
+{
+    for (;;) {
+        auto response = responses_.try_pop();
+        if (!response.has_value()) {
+            return;
+        }
+        const std::uint64_t ticket = response->ticket;
+        banked_.emplace(ticket, std::move(*response));
+    }
+}
+
+AsyncLoader::Response
+AsyncLoader::pop_banked()
+{
+    NOSWALKER_CHECK(!banked_.empty());
+    auto it = banked_.begin();
+    Response response = std::move(it->second);
+    banked_.erase(it);
+    return response;
+}
+
+AsyncLoader::Response
+AsyncLoader::consume(Response response)
+{
+    NOSWALKER_CHECK(inflight_ > 0);
+    --inflight_;
+    return response;
 }
 
 AsyncLoader::Response
 AsyncLoader::wait()
 {
+    Response response = consume_any();
+    return response;
+}
+
+AsyncLoader::Response
+AsyncLoader::consume_any()
+{
     NOSWALKER_CHECK(outstanding());
-    --inflight_;
     if (!background_) {
+        if (!banked_.empty()) {
+            Response response = consume(pop_banked());
+            if (response.error) {
+                std::rethrow_exception(response.error);
+            }
+            return response;
+        }
         Request request = std::move(pending_.front());
         pending_.pop_front();
-        Response response = execute(request);
+        Response response = consume(execute(request));
         if (response.error) {
             std::rethrow_exception(response.error);
         }
         return response;
     }
-    auto response = responses_.pop();
-    NOSWALKER_CHECK(response.has_value());
-    if (response->error) {
-        std::rethrow_exception(response->error);
+    drain_ready();
+    if (banked_.empty()) {
+        auto response = responses_.pop();
+        NOSWALKER_CHECK(response.has_value());
+        banked_.emplace(response->ticket, std::move(*response));
     }
-    return std::move(*response);
+    Response response = consume(pop_banked());
+    if (response.error) {
+        std::rethrow_exception(response.error);
+    }
+    return response;
 }
 
 std::optional<AsyncLoader::Response>
@@ -69,17 +121,57 @@ AsyncLoader::try_wait()
         return std::nullopt;
     }
     if (!background_) {
-        --inflight_;
+        if (!banked_.empty()) {
+            return consume(pop_banked());
+        }
         Request request = std::move(pending_.front());
         pending_.pop_front();
-        return execute(request);
+        return consume(execute(request));
     }
-    auto response = responses_.try_pop();
-    if (!response.has_value()) {
+    drain_ready();
+    if (banked_.empty()) {
         return std::nullopt;
     }
-    --inflight_;
-    return std::move(*response);
+    return consume(pop_banked());
+}
+
+std::optional<AsyncLoader::Response>
+AsyncLoader::try_consume(std::uint32_t block_id)
+{
+    if (!outstanding()) {
+        return std::nullopt;
+    }
+    if (background_) {
+        drain_ready();
+    } else {
+        // Execute every pending load up to and including the target —
+        // the work a background thread would already have finished by
+        // the time the target completed — banking the earlier ones.
+        const bool queued = std::any_of(
+            pending_.begin(), pending_.end(), [&](const Request &r) {
+                return r.block->id == block_id;
+            });
+        if (queued) {
+            for (;;) {
+                Request request = std::move(pending_.front());
+                pending_.pop_front();
+                const bool target = request.block->id == block_id;
+                Response response = execute(request);
+                banked_.emplace(response.ticket, std::move(response));
+                if (target) {
+                    break;
+                }
+            }
+        }
+    }
+    for (auto it = banked_.begin(); it != banked_.end(); ++it) {
+        if (it->second.block->id == block_id) {
+            Response response = std::move(it->second);
+            banked_.erase(it);
+            return consume(std::move(response));
+        }
+    }
+    return std::nullopt;
 }
 
 AsyncLoader::Response
@@ -88,6 +180,7 @@ AsyncLoader::execute(Request &request)
     Response response;
     response.block = request.block;
     response.fine = request.fine;
+    response.ticket = request.ticket;
     if (pool_ != nullptr) {
         response.buffer = pool_->acquire();
     }

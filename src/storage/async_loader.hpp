@@ -1,24 +1,36 @@
 /**
  * @file
- * Background block loader (Figure 6 ①), now a depth-K pipeline.
+ * Background block loader (Figure 6 ①), now a depth-K pipeline with
+ * completion-order-independent retrieval.
  *
  * NosWalker decouples disk loading from walker processing: a dedicated
  * I/O thread keeps pulling the scheduler's chosen blocks into buffers
  * while the processing thread consumes pre-samples.  Up to `depth`
- * requests may be outstanding at once (bounded queues); completions are
- * consumed strictly in submission order (FIFO), which keeps the engine's
- * admission order — and therefore walk output — independent of depth.
+ * requests may be outstanding at once (bounded queues).  Every request
+ * is tagged with a monotonically increasing *ticket* at submission;
+ * completed loads land in an internal bank from which the consumer may
+ * retrieve them in any order:
  *
- * The 0-thread mode (`background = false`) emulates the same depth-K
- * FIFO without a thread: submissions park in a pending queue and each
- * wait()/try_wait() executes the oldest one synchronously, so tests can
- * diff depth 0/1/K behaviour deterministically.
+ *  - wait()/try_wait() consume the oldest outstanding ticket (FIFO),
+ *  - consume_any() consumes the lowest-ticket *completed* load,
+ *  - try_consume(block_id) plucks a specific block's completed load
+ *    out of the bank even while older, slower loads are still pending.
+ *
+ * The 0-thread mode (`background = false`) emulates the same pipeline
+ * without a thread: submissions park in a pending queue and the
+ * consume calls execute them on the spot — try_consume(block) runs
+ * every pending request up to and including the target (exactly the
+ * work a background thread would have finished by then), banking the
+ * earlier completions, so tests can diff 0/1-thread behaviour
+ * deterministically.
  */
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
+#include <map>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -39,6 +51,8 @@ class AsyncLoader {
         bool fine = false;
         /** Fine mode: vertices whose pages must be loaded. */
         std::vector<graph::VertexId> needed;
+        /** Submission order tag; assigned by submit(). */
+        std::uint64_t ticket = 0;
     };
 
     /** A completed load. */
@@ -47,6 +61,8 @@ class AsyncLoader {
         bool fine = false;
         BlockBuffer buffer;
         LoadResult result;
+        /** Submission order tag of the originating request. */
+        std::uint64_t ticket = 0;
         /** Set when the load threw; rethrown by the consumer. */
         std::exception_ptr error;
     };
@@ -54,7 +70,8 @@ class AsyncLoader {
     /**
      * @param reader     the block reader to drive.
      * @param background spawn the loader thread; false = loads execute
-     *                   synchronously inside wait() (0-thread mode).
+     *                   synchronously inside the consume calls
+     *                   (0-thread mode).
      * @param depth      maximum outstanding requests (≥ 1).
      * @param pool       optional buffer pool; loads draw their buffers
      *                   from it so recycled storage is reused.
@@ -72,8 +89,10 @@ class AsyncLoader {
     /** Maximum outstanding requests. */
     std::size_t depth() const { return depth_; }
 
-    /** Queue a load. @pre can_submit(). */
-    void submit(Request request);
+    /**
+     * Queue a load and return its ticket. @pre can_submit().
+     */
+    std::uint64_t submit(Request request);
 
     /** True when another request may be submitted. */
     bool can_submit() const { return inflight_ < depth_; }
@@ -86,7 +105,8 @@ class AsyncLoader {
 
     /**
      * Wait for the oldest outstanding load and return it; rethrows the
-     * load's error, if any.
+     * load's error, if any.  Equivalent to consume_any() because one
+     * loader thread completes requests in ticket order.
      * @pre outstanding().
      */
     Response wait();
@@ -100,16 +120,47 @@ class AsyncLoader {
      */
     std::optional<Response> try_wait();
 
+    /**
+     * Consume the lowest-ticket completed load, blocking until one
+     * completes; rethrows the load's error, if any.  In 0-thread mode
+     * the banked completions (from earlier try_consume calls) drain
+     * first, then the oldest pending load executes.
+     * @pre outstanding().
+     */
+    Response consume_any();
+
+    /**
+     * Retrieve the completed load of @p block_id out of submission
+     * order: older, slower loads stay outstanding.  In 0-thread mode
+     * every pending load up to and including the target executes (the
+     * work a background thread would have finished), with the earlier
+     * completions banked for later consume calls.  Errors are reported
+     * in Response::error (not rethrown).
+     * @return nullopt when no outstanding load matches @p block_id or
+     *         the matching load has not completed yet.
+     */
+    std::optional<Response> try_consume(std::uint32_t block_id);
+
   private:
     Response execute(Request &request);
     void loop();
+    /** Move every already-arrived background completion to the bank. */
+    void drain_ready();
+    /** Remove and return the banked response with the lowest ticket. */
+    Response pop_banked();
+    /** Finish consuming @p response (bookkeeping shared by all paths). */
+    Response consume(Response response);
 
     BlockReader *reader_;
     bool background_;
     std::size_t depth_;
     BlockBufferPool *pool_;
     std::size_t inflight_ = 0;
+    std::uint64_t next_ticket_ = 0;
     std::deque<Request> pending_; ///< 0-thread mode: FIFO of submissions
+    /** Completed-but-unconsumed loads, keyed by ticket (ordered so the
+     *  lowest ticket pops first). */
+    std::map<std::uint64_t, Response> banked_;
     util::BlockingQueue<Request> requests_;
     util::BlockingQueue<Response> responses_;
     std::thread thread_;

@@ -51,6 +51,7 @@ SharedBlockCache::insert(std::uint32_t block_id,
     entry->block_id = block_id;
     entry->aligned_begin = aligned_begin;
     entry->bytes = std::move(bytes);
+    entry->reserved_bytes = budget_ != nullptr ? need : 0;
     lru_.emplace_front(block_id, std::move(entry));
     index_[block_id] = lru_.begin();
     used_ += need;
@@ -61,13 +62,23 @@ SharedBlockCache::evict_tail()
 {
     const auto &victim = lru_.back();
     const std::uint64_t bytes = victim.second->bytes.size();
+    // Release exactly what was reserved at insertion — entries that
+    // predate the attached budget were never charged against it.
+    const std::uint64_t reserved = victim.second->reserved_bytes;
     index_.erase(victim.first);
     used_ -= bytes;
-    if (budget_ != nullptr) {
-        budget_->release(bytes);
+    if (budget_ != nullptr && reserved != 0) {
+        budget_->release(reserved);
     }
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+SharedBlockCache::attach_budget(util::MemoryBudget *budget)
+{
+    std::lock_guard lock(mutex_);
+    budget_ = budget;
 }
 
 void

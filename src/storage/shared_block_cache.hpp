@@ -40,6 +40,14 @@ class SharedBlockCache {
         /** Absolute file offset of bytes[0] (page aligned). */
         std::uint64_t aligned_begin = 0;
         std::vector<std::uint8_t> bytes;
+        /**
+         * Bytes reserved against the attached budget when this entry
+         * was inserted.  Zero for entries inserted while no budget was
+         * attached — eviction releases exactly this amount, never the
+         * byte size, so attaching a budget to a pre-populated cache
+         * cannot over-release.
+         */
+        std::uint64_t reserved_bytes = 0;
     };
 
     /**
@@ -76,6 +84,17 @@ class SharedBlockCache {
 
     /** Drop every entry (pinned readers keep theirs alive). */
     void clear();
+
+    /**
+     * Attach (or detach, with nullptr) the budget later insertions
+     * reserve against.  Entries already resident stay unaccounted —
+     * their reserved_bytes is zero, so their eviction releases
+     * nothing.  Reservations made under a previously attached budget
+     * are released against the new one's pointer only via their
+     * recorded reserved_bytes; detach only when no reserved entries
+     * remain resident.
+     */
+    void attach_budget(util::MemoryBudget *budget);
 
     std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
     std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }

@@ -292,6 +292,66 @@ TEST(RunStats, ModeledTimePolicies)
     engine::RunStats cpu_bound = piped;
     cpu_bound.cpu_seconds = 10.0;
     EXPECT_DOUBLE_EQ(cpu_bound.modeled_seconds(), 10.0);
+
+    // Pipelined overlap hides busy phases in each other, but seconds
+    // the consumer provably blocked on loads extend the total.
+    engine::RunStats stalled = piped;
+    stalled.io_wait_seconds = 0.75;
+    EXPECT_DOUBLE_EQ(stalled.modeled_seconds(), 3.25);
+
+    // The non-pipelined total already serializes loading and stepping;
+    // the wait term must not be double counted there.
+    engine::RunStats sync_stalled = sync;
+    sync_stalled.io_wait_seconds = 0.75;
+    EXPECT_DOUBLE_EQ(sync_stalled.modeled_seconds(), 9.0);
+}
+
+TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
+{
+    // Every counter added since the walk-service PR must survive both
+    // scaled() (per-tenant attribution) and operator+= (fleet totals)
+    // with its intended semantics: waits and hit/mispredict counts are
+    // additive work, pre-sample pool sizes and peaks are shared-state
+    // maxima that scaling must NOT split.
+    engine::RunStats s;
+    s.io_wait_seconds = 2.0;
+    s.prefetch_hits = 40;
+    s.prefetch_mispredicts = 8;
+    s.presample_bytes_used = 1000;
+    s.presample_bytes_total = 4000;
+    s.peak_memory = 512;
+    s.io_efficiency = 0.8;
+    s.pipelined = true;
+
+    const engine::RunStats half = s.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.io_wait_seconds, 1.0);
+    EXPECT_EQ(half.prefetch_hits, 20u);
+    EXPECT_EQ(half.prefetch_mispredicts, 4u);
+    EXPECT_EQ(half.presample_bytes_used, 1000u)
+        << "shared pool size is not divisible across tenants";
+    EXPECT_EQ(half.presample_bytes_total, 4000u);
+    EXPECT_EQ(half.peak_memory, 512u);
+    EXPECT_DOUBLE_EQ(half.io_efficiency, 0.8);
+    EXPECT_TRUE(half.pipelined);
+
+    engine::RunStats sum = half;
+    engine::RunStats other;
+    other.io_wait_seconds = 0.5;
+    other.prefetch_hits = 5;
+    other.prefetch_mispredicts = 1;
+    other.presample_bytes_used = 3000;
+    other.presample_bytes_total = 3000;
+    other.peak_memory = 1024;
+    other.io_efficiency = 0.5;
+    sum += other;
+    EXPECT_DOUBLE_EQ(sum.io_wait_seconds, 1.5);
+    EXPECT_EQ(sum.prefetch_hits, 25u);
+    EXPECT_EQ(sum.prefetch_mispredicts, 5u);
+    EXPECT_EQ(sum.presample_bytes_used, 3000u) << "max, not sum";
+    EXPECT_EQ(sum.presample_bytes_total, 4000u) << "max, not sum";
+    EXPECT_EQ(sum.peak_memory, 1024u) << "max, not sum";
+    EXPECT_DOUBLE_EQ(sum.io_efficiency, 0.8) << "max, not sum";
+    EXPECT_TRUE(sum.pipelined);
 }
 
 TEST(RunStats, DerivedMetrics)

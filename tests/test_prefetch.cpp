@@ -30,6 +30,7 @@
 #include "storage/block_reader.hpp"
 #include "storage/mem_device.hpp"
 #include "storage/shared_block_cache.hpp"
+#include "util/memory_budget.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker {
@@ -392,6 +393,160 @@ TEST_F(PrefetchTest, MispredictDemotesToCacheAndResteers)
     pipeline.finish();
 }
 
+TEST_F(PrefetchTest, WalkIsBitIdenticalAcrossReorderWindows)
+{
+    // Out-of-order consumption changes when bytes arrive, never which
+    // block the engine processes (always the scheduler's hottest), so
+    // FIFO, a bounded window, and fully out-of-order delivery produce
+    // the same walk bit-for-bit at every thread count.
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 24;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::vector<std::uint32_t>> visits;
+    std::vector<std::uint64_t> steps;
+    for (const unsigned threads : {1u, 8u}) {
+        for (const unsigned window : {0u, 2u, 4u}) {
+            ConcurrentRecordingWalk app(kLength, file_->num_vertices(),
+                                        kWalkers);
+            core::EngineConfig cfg = config(/*depth=*/4, threads);
+            cfg.prefetch_reorder_window = window;
+            core::NosWalkerEngine<ConcurrentRecordingWalk> eng(
+                *file_, *partition_, cfg);
+            const auto stats = eng.run(app, kWalkers);
+            endpoints.push_back(app.endpoints);
+            std::vector<std::uint32_t> v(app.visits.size());
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                v[i] = app.visits[i].load();
+            }
+            visits.push_back(std::move(v));
+            steps.push_back(stats.steps);
+        }
+    }
+    EXPECT_GT(steps[0], 0u);
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+        EXPECT_EQ(visits[t], visits[0]) << "config " << t;
+    }
+}
+
+TEST_F(PrefetchTest, ReorderWindowServesCachedDemandPastSlowLoad)
+{
+    // The head-of-line case the window exists for: a slow speculative
+    // load is at the FIFO head when the engine demands a block the
+    // shared cache can serve instantly.  FIFO consumption charges the
+    // slow load's completion time before the demand; a window >= the
+    // bypass count serves the demand at once.
+    util::MemoryBudget budget;
+    std::vector<double> io_wait;
+    for (const unsigned window : {0u, 2u}) {
+        storage::SharedBlockCache cache(1ULL << 20);
+        storage::BlockReader reader(*file_, budget, 8ULL << 20, &cache);
+        {
+            // Pre-populate the cache with block 2 (published on miss).
+            storage::BlockBuffer warm;
+            reader.load_coarse(partition_->block(2), warm);
+            warm.release_storage();
+        }
+        ASSERT_NE(cache.find(2), nullptr);
+        storage::BlockBufferPool pool;
+        storage::AsyncLoader loader(reader, /*background=*/false,
+                                    /*depth=*/2, &pool);
+        core::PrefetchPipeline pipeline(loader, reader, pool,
+                                        /*depth=*/2, &cache,
+                                        /*queue_latency=*/80e-6, window);
+        pipeline.speculate(partition_->block(1)); // slow device load
+        storage::AsyncLoader::Request demand;
+        demand.block = &partition_->block(2); // cache hit, zero I/O
+        auto response = pipeline.obtain(std::move(demand));
+        EXPECT_EQ(response.block->id, 2u);
+        EXPECT_TRUE(response.result.from_cache);
+        io_wait.push_back(pipeline.stats().io_wait_seconds);
+        pipeline.recycle(std::move(response.buffer));
+        pipeline.finish();
+    }
+    EXPECT_GT(io_wait[0], 0.0) << "FIFO must wait out the slow head";
+    EXPECT_EQ(io_wait[1], 0.0) << "window serves the completed demand";
+    EXPECT_LT(io_wait[1], io_wait[0]);
+}
+
+TEST_F(PrefetchTest, SweepAdmissionFilterSkipsStaleDemotions)
+{
+    // ROADMAP item 2: a demoted block whose scheduler heat is older
+    // than kAdmissionSweeps sweeps stays out of the shared cache (it
+    // would only dilute hot service tenants) but is still stashed for
+    // a re-steer, and the filtered demotion is counted.
+    util::MemoryBudget budget;
+    storage::SharedBlockCache cache(1ULL << 20);
+    storage::BlockReader reader(*file_, budget);
+    storage::BlockBufferPool pool;
+    storage::AsyncLoader loader(reader, /*background=*/false,
+                                /*depth=*/2, &pool);
+    core::PrefetchPipeline pipeline(loader, reader, pool, /*depth=*/2,
+                                    &cache, /*queue_latency=*/80e-6,
+                                    /*reorder_window=*/2);
+    core::BlockScheduler sched(partition_->num_blocks(), 4.0,
+                               file_->edge_region_bytes(), 4096);
+
+    sched.add_walker(1);
+    pipeline.speculate(partition_->block(1));
+    sched.remove_walker(1);
+    // The load stays unbanked (no poll), so sweeps pass it over while
+    // its speculation-time heat goes stale.
+    for (std::uint64_t i = 0; i <= core::PrefetchPipeline::kAdmissionSweeps;
+         ++i) {
+        pipeline.sweep(sched);
+    }
+    pipeline.poll(); // sync loader: executes + banks the load
+    pipeline.sweep(sched);
+    EXPECT_EQ(pipeline.stats().prefetch_mispredicts, 1u);
+    EXPECT_EQ(pipeline.stats().filtered_demotions, 1u);
+    EXPECT_EQ(cache.find(1), nullptr) << "stale block must not publish";
+    EXPECT_TRUE(pipeline.covers(1)) << "still stashed for a re-steer";
+    pipeline.finish();
+}
+
+TEST_F(PrefetchTest, AsyncLoaderConsumesCompletionsOutOfOrder)
+{
+    // The ticketed consume paths: try_consume plucks a specific
+    // completed block past older outstanding loads; consume_any then
+    // drains the rest in ticket order.  Identical in both threading
+    // modes — the 0-thread loader executes pending work up to the
+    // target on the spot.
+    util::MemoryBudget budget;
+    storage::BlockReader reader(*file_, budget);
+    ASSERT_GE(partition_->num_blocks(), 3u);
+    for (const bool background : {false, true}) {
+        storage::BlockBufferPool pool;
+        storage::AsyncLoader loader(reader, background, /*depth=*/3,
+                                    &pool);
+        for (const std::uint32_t id : {0u, 1u, 2u}) {
+            storage::AsyncLoader::Request request;
+            request.block = &partition_->block(id);
+            loader.submit(std::move(request));
+        }
+        EXPECT_FALSE(loader.try_consume(7u).has_value())
+            << "no outstanding load for that block";
+        std::optional<storage::AsyncLoader::Response> last;
+        while (!last.has_value()) { // background: wait for completion
+            last = loader.try_consume(2u);
+        }
+        EXPECT_EQ(last->block->id, 2u) << "background=" << background;
+        EXPECT_TRUE(last->buffer.complete());
+        EXPECT_EQ(loader.inflight(), 2u);
+        pool.recycle(std::move(last->buffer));
+        EXPECT_FALSE(loader.try_consume(2u).has_value())
+            << "already consumed";
+        for (const std::uint32_t id : {0u, 1u}) {
+            auto response = loader.consume_any();
+            EXPECT_EQ(response.block->id, id)
+                << "background=" << background;
+            pool.recycle(std::move(response.buffer));
+        }
+        EXPECT_FALSE(loader.outstanding());
+    }
+}
+
 TEST_F(PrefetchTest, AsyncLoaderCompletesInFifoOrderAtDepthK)
 {
     util::MemoryBudget budget;
@@ -420,6 +575,37 @@ TEST_F(PrefetchTest, AsyncLoaderCompletesInFifoOrderAtDepthK)
         EXPECT_FALSE(loader.outstanding());
         EXPECT_TRUE(loader.can_submit());
     }
+}
+
+TEST(SharedBlockCache, BudgetAttachReleasesOnlyReservedBytes)
+{
+    // Regression: eviction used to release every victim's byte size
+    // against the budget, but entries inserted before attach_budget
+    // were never reserved — the first eviction of one tripped the
+    // budget's underflow check.  Eviction must release exactly what
+    // the entry reserved at insertion.
+    storage::SharedBlockCache cache(/*capacity_bytes=*/3000);
+    cache.insert(1, 0, std::vector<std::uint8_t>(1000, 0x11));
+    cache.insert(2, 0, std::vector<std::uint8_t>(1000, 0x22));
+    EXPECT_EQ(cache.used_bytes(), 2000u);
+
+    util::MemoryBudget budget;
+    cache.attach_budget(&budget);
+    cache.insert(3, 0, std::vector<std::uint8_t>(1000, 0x33));
+    EXPECT_EQ(budget.used(), 1000u) << "only the new entry reserves";
+
+    // Capacity pressure evicts both pre-budget entries (LRU tail
+    // first); their eviction releases nothing.
+    cache.insert(4, 0, std::vector<std::uint8_t>(2000, 0x44));
+    EXPECT_EQ(cache.find(1), nullptr);
+    EXPECT_EQ(cache.find(2), nullptr);
+    EXPECT_EQ(cache.used_bytes(), 3000u);
+    EXPECT_EQ(budget.used(), 3000u);
+
+    // Reserved entries release exactly their reservation.
+    cache.clear();
+    EXPECT_EQ(cache.used_bytes(), 0u);
+    EXPECT_EQ(budget.used(), 0u);
 }
 
 TEST_F(PrefetchTest, BlockBufferRetainsCapacityAcrossLoads)

@@ -7,15 +7,13 @@ namespace noswalker::baselines {
 double
 ClusterModel::network_seconds(std::uint64_t messages) const
 {
-    if (nodes <= 1 || network_bps <= 0.0) {
-        return 0.0;
-    }
-    const double total_bytes =
-        static_cast<double>(messages) * message_bytes;
-    // Each of the N nodes drives its own full-duplex link; balanced
-    // traffic divides evenly.
-    const double bytes_per_second = network_bps / 8.0;
-    return total_bytes / (bytes_per_second * nodes);
+    // KnightKing streams messages continuously rather than at round
+    // barriers, so only the wire term applies (no batch overhead).
+    shard::MigrationCostModel wire;
+    wire.network_bps = network_bps;
+    wire.message_bytes = message_bytes;
+    wire.batch_overhead_seconds = 0.0;
+    return wire.exchange_seconds(messages, 0, nodes);
 }
 
 double

@@ -18,19 +18,22 @@
 #include "engine/app.hpp"
 #include "engine/run_stats.hpp"
 #include "graph/graph_file.hpp"
+#include "shard/migration_cost.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace noswalker::baselines {
 
-/** Cluster parameters of the KnightKing model. */
+/** Cluster parameters of the KnightKing model.  The wire-cost numbers
+ *  come from shard/migration_cost.hpp so the analytical baseline and
+ *  the real shard subsystem price a walker message identically. */
 struct ClusterModel {
     /** Number of nodes. */
     unsigned nodes = 4;
     /** Network bandwidth per link, bits per second (paper: 10 Gbps). */
-    double network_bps = 10e9;
+    double network_bps = shard::kInterconnectBps;
     /** Bytes per walker message (walker id + vertex + step). */
-    std::uint32_t message_bytes = 16;
+    std::uint32_t message_bytes = shard::kWalkerMessageBytes;
     /** Per-node disk bandwidth for the initial load, bytes/s. */
     double load_bandwidth = 3.1 * static_cast<double>(1ULL << 30);
 

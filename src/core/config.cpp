@@ -28,6 +28,10 @@ EngineConfig::validate() const
         throw util::ConfigError(
             "EngineConfig: prefetch_reorder_window must be <= 64");
     }
+    if (num_shards == 0 || num_shards > 256) {
+        throw util::ConfigError(
+            "EngineConfig: num_shards must be in [1, 256]");
+    }
     // The fractions apply sequentially (pool from the post-index
     // remainder, pre-samples from what is left after the pool), so
     // each only needs to be a valid fraction on its own.

@@ -78,6 +78,18 @@ struct EngineConfig {
     unsigned prefetch_depth = 2;
 
     /**
+     * Graph shards executed concurrently by shard::ShardedEngine (1 =
+     * the plain single-engine path).  Each shard owns a contiguous
+     * block range, a private modeled device, and a 1/N slice of the
+     * memory budget; walkers crossing a shard boundary migrate in
+     * batches at deterministic round barriers.  Output is bit-identical
+     * at every value (DESIGN.md §11); note the sharded path runs with
+     * pre-sampling off, so compare shard counts against each other,
+     * not against a presampling single-engine run.
+     */
+    unsigned num_shards = 1;
+
+    /**
      * Completed prefetch loads that may be consumed out of submission
      * order, past older still-outstanding loads (0 = strict FIFO
      * consumption; >= prefetch_depth = fully out of order).  Purely a

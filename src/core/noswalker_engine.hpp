@@ -136,6 +136,48 @@ class NosWalkerEngine {
     }
 
     /**
+     * Shard-mode entry (one migration round of shard::ShardedEngine):
+     * execute exactly the pre-generated @p records, treating only
+     * blocks in [@p first_block, @p end_block) as local.  A record
+     * whose waiting vertex falls outside the local range is not
+     * stepped; it is appended to @p emigrants (with its live RNG
+     * stream) for the caller to route to the owning shard.
+     *
+     * Pre-sampling is forced off for the round: reservoir contents
+     * depend on refill timing, which varies with the shard count, and
+     * would break the cross-shard bit-identity contract (DESIGN.md
+     * §11).  Per-walker streams are untouched by migration, so each
+     * trajectory stays a pure function of (seed, walker id, graph).
+     */
+    engine::RunStats
+    run_records(App &app, std::vector<Record> records, std::uint64_t seed,
+                std::uint32_t first_block, std::uint32_t end_block,
+                std::vector<Record> *emigrants)
+    {
+        if (emigrants == nullptr || first_block >= end_block ||
+            end_block > partition_->num_blocks()) {
+            throw util::ConfigError(
+                "run_records: bad shard block range or null emigrants");
+        }
+        shard_mode_ = true;
+        owned_begin_ = first_block;
+        owned_end_ = end_block;
+        emigrants_out_ = emigrants;
+        seed_records_ = std::move(records);
+        seed_override_ = seed;
+        const std::uint64_t total = seed_records_.size();
+        engine::RunStats out;
+        try {
+            out = run(app, total);
+        } catch (...) {
+            exit_shard_mode();
+            throw;
+        }
+        exit_shard_mode();
+        return out;
+    }
+
+    /**
      * Execute @p total_walkers walkers of @p app to completion.
      *
      * Deterministic for a fixed (config.seed, app, graph) — including
@@ -233,7 +275,26 @@ class NosWalkerEngine {
         std::uint64_t rejection_trials = 0;
         std::uint64_t rejection_rejected = 0;
         std::vector<std::pair<std::uint32_t, Record>> parked;
+        /** Shard mode: walkers whose waiting block another shard owns. */
+        std::vector<Record> emigrants;
     };
+
+    void
+    exit_shard_mode()
+    {
+        shard_mode_ = false;
+        owned_begin_ = 0;
+        owned_end_ = 0;
+        emigrants_out_ = nullptr;
+        seed_records_.clear();
+    }
+
+    /** Whether block @p b is local (always true outside shard mode). */
+    bool
+    owns_block(std::uint32_t b) const
+    {
+        return !shard_mode_ || (b >= owned_begin_ && b < owned_end_);
+    }
 
     void
     reset(std::uint64_t total)
@@ -243,6 +304,9 @@ class NosWalkerEngine {
         stats_.pipelined = true; // set false later in single-buffer mode
         run_seed_ = seed_override_.value_or(config_.seed);
         seed_override_.reset();
+        // Shard rounds never pre-sample: reservoir contents depend on
+        // refill timing, which varies with the shard count (§11).
+        presample_enabled_ = config_.presample && !shard_mode_;
         // Domain-separated stream root for pre-sample fills so they
         // never collide with walker streams.
         presample_seed_ =
@@ -336,7 +400,7 @@ class NosWalkerEngine {
                 *swap_device_, sizeof(WalkerT), resident_cap, num_blocks);
         }
 
-        if (config_.presample) {
+        if (presample_enabled_) {
             std::uint64_t ps_total = std::max<std::uint64_t>(
                 4096, budget.limit() == 0
                           ? std::uint64_t{64} << 20
@@ -480,7 +544,7 @@ class NosWalkerEngine {
         if (!config_.walker_management) {
             // All walkers are materialized once, GraphChi-style.
             while (generated_ < total_) {
-                Record rec = make_record(app, generated_);
+                Record rec = next_record(app);
                 ++generated_;
                 pool_->admit();
                 park_now(std::move(rec));
@@ -491,7 +555,7 @@ class NosWalkerEngine {
         while (generated_ < total_ && pool_->can_admit()) {
             fresh.clear();
             while (generated_ < total_ && pool_->can_admit()) {
-                fresh.push_back(make_record(app, generated_));
+                fresh.push_back(next_record(app));
                 ++generated_;
                 pool_->admit();
             }
@@ -511,12 +575,35 @@ class NosWalkerEngine {
         return rec;
     }
 
+    /**
+     * The next walker to admit: freshly generated, or — in shard mode
+     * — the next pre-routed record (generated once by the sharded
+     * orchestrator; its stream travels with it across rounds).
+     */
+    Record
+    next_record(App &app)
+    {
+        if (shard_mode_) {
+            return std::move(seed_records_[generated_]);
+        }
+        return make_record(app, generated_);
+    }
+
     /** Park @p rec at its waiting block (scheduler thread only). */
     void
     park_now(Record rec)
     {
         const std::uint32_t b =
             partition_->block_of(waiting_vertex_of(rec));
+        if (!owns_block(b)) {
+            // Another shard owns the data; hand the walker (and its
+            // live stream) to the round's outbox.  The pool slot is
+            // freed but the walker is *not* retired — the destination
+            // shard continues it next round.
+            emigrants_out_->push_back(std::move(rec));
+            pool_->retire_n(1);
+            return;
+        }
         pool_->park(b, rec);
         scheduler_->add_walker(b);
         if (spill_) {
@@ -662,7 +749,7 @@ class NosWalkerEngine {
     process_block(App &app, const storage::AsyncLoader::Response &response)
     {
         const std::uint32_t id = response.block->id;
-        if (!response.fine && config_.presample) {
+        if (!response.fine && presample_enabled_) {
             refill_presamples(app, response);
         }
         if (spill_) {
@@ -752,7 +839,13 @@ class NosWalkerEngine {
         stats_.rejection_trials += delta.rejection_trials;
         stats_.rejection_rejected += delta.rejection_rejected;
         stats_.walkers += delta.retired;
-        pool_->retire_n(delta.retired);
+        // Emigrants free their pool slot without retiring: their walk
+        // continues on the owning shard next round.  Worker-index merge
+        // order keeps the outbox sequence deterministic.
+        pool_->retire_n(delta.retired + delta.emigrants.size());
+        for (Record &rec : delta.emigrants) {
+            emigrants_out_->push_back(std::move(rec));
+        }
         for (auto &[block, rec] : delta.parked) {
             pool_->park(block, rec);
             scheduler_->add_walker(block);
@@ -800,20 +893,30 @@ class NosWalkerEngine {
                 return;
             }
             if (!advance_once(app, rec, v, buf, delta)) {
-                ++delta.stalls;
-                park_into(std::move(rec), delta);
+                if (park_into(std::move(rec), delta)) {
+                    ++delta.stalls;
+                }
                 return;
             }
         }
     }
 
-    /** Defer parking to the post-barrier merge (thread-local buffer). */
-    void
+    /**
+     * Defer parking to the post-barrier merge (thread-local buffer).
+     * @return false when the walker emigrated instead of parking: its
+     *         waiting block belongs to another shard.
+     */
+    bool
     park_into(Record rec, StepDelta &delta)
     {
         const std::uint32_t b =
             partition_->block_of(waiting_vertex_of(rec));
+        if (!owns_block(b)) {
+            delta.emigrants.push_back(std::move(rec));
+            return false;
+        }
         delta.parked.emplace_back(b, std::move(rec));
+        return true;
     }
 
     /**
@@ -835,7 +938,7 @@ class NosWalkerEngine {
             move_via_block(app, rec, v, buf, delta)) {
             return true;
         }
-        if (config_.presample &&
+        if (presample_enabled_ &&
             move_via_presamples(app, rec, v, delta)) {
             return true;
         }
@@ -937,7 +1040,7 @@ class NosWalkerEngine {
             buf->info()->contains(c) && buf->vertex_loaded(*file_, c)) {
             view = buf->view(*file_, c);
             have = true;
-        } else if (config_.presample) {
+        } else if (presample_enabled_) {
             PreSampleBuffer *ps =
                 find_presamples(partition_->block_of(c));
             if (ps != nullptr && ps->is_direct(c)) {
@@ -1020,6 +1123,16 @@ class NosWalkerEngine {
     std::uint64_t run_seed_ = 0;
     std::uint64_t presample_seed_ = 0;
     std::optional<std::uint64_t> seed_override_;
+
+    /** Shard-mode round state (run_records; DESIGN.md §11). */
+    bool shard_mode_ = false;
+    std::uint32_t owned_begin_ = 0;
+    std::uint32_t owned_end_ = 0;
+    std::vector<Record> *emigrants_out_ = nullptr;
+    /** Pre-routed records to admit instead of generating (shard mode). */
+    std::vector<Record> seed_records_;
+    /** config_.presample, forced off for shard rounds (reset()). */
+    bool presample_enabled_ = false;
 
     util::MemoryBudget *shared_budget_ = nullptr;
     storage::SharedBlockCache *shared_cache_ = nullptr;

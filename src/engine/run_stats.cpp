@@ -13,11 +13,13 @@ RunStats::modeled_seconds() const
     if (pipelined) {
         // Loading and stepping overlap, so the busy phases run at the
         // pace of the slower one — but the seconds the consumer
-        // provably blocked on loads (io_wait_seconds) are covered by
+        // provably blocked on loads (io_wait_seconds) and on shard
+        // round barriers (migration_wait_seconds) are covered by
         // neither phase and stretch the total.
-        return std::max(io, cpu_seconds) + io_wait_seconds;
+        return std::max(io, cpu_seconds) + io_wait_seconds +
+               migration_wait_seconds;
     }
-    return io + cpu_seconds;
+    return io + cpu_seconds + migration_wait_seconds;
 }
 
 double
@@ -54,6 +56,8 @@ RunStats::operator+=(const RunStats &other)
     cache_hit_blocks += other.cache_hit_blocks;
     prefetch_hits += other.prefetch_hits;
     prefetch_mispredicts += other.prefetch_mispredicts;
+    migrations += other.migrations;
+    migration_batches += other.migration_batches;
     presample_steps += other.presample_steps;
     block_steps += other.block_steps;
     stalls += other.stalls;
@@ -62,6 +66,7 @@ RunStats::operator+=(const RunStats &other)
     cpu_seconds += other.cpu_seconds;
     io_busy_seconds += other.io_busy_seconds;
     io_wait_seconds += other.io_wait_seconds;
+    migration_wait_seconds += other.migration_wait_seconds;
     wall_seconds += other.wall_seconds;
     pipelined = pipelined || other.pipelined;
     io_efficiency = std::max(io_efficiency, other.io_efficiency);
@@ -92,6 +97,8 @@ RunStats::scaled(double fraction) const
     out.cache_hit_blocks = part(cache_hit_blocks);
     out.prefetch_hits = part(prefetch_hits);
     out.prefetch_mispredicts = part(prefetch_mispredicts);
+    out.migrations = part(migrations);
+    out.migration_batches = part(migration_batches);
     out.presample_steps = part(presample_steps);
     out.block_steps = part(block_steps);
     out.stalls = part(stalls);
@@ -100,6 +107,7 @@ RunStats::scaled(double fraction) const
     out.cpu_seconds = cpu_seconds * fraction;
     out.io_busy_seconds = io_busy_seconds * fraction;
     out.io_wait_seconds = io_wait_seconds * fraction;
+    out.migration_wait_seconds = migration_wait_seconds * fraction;
     out.wall_seconds = wall_seconds * fraction;
     return out;
 }
@@ -120,6 +128,9 @@ RunStats::to_string() const
         << " mispredicts=" << prefetch_mispredicts
         << " presample_steps=" << presample_steps
         << " block_steps=" << block_steps << " stalls=" << stalls << "\n"
+        << "  migrations=" << migrations
+        << " migration_batches=" << migration_batches
+        << " migration_wait_s=" << migration_wait_seconds << "\n"
         << "  cpu_s=" << cpu_seconds << " io_busy_s=" << io_busy_seconds
         << " io_wait_s=" << io_wait_seconds
         << " eff=" << io_efficiency << " modeled_s=" << modeled_seconds()

@@ -47,6 +47,11 @@ struct RunStats {
      *  (demoted to the shared cache / stash, never discarded). */
     std::uint64_t prefetch_mispredicts = 0;
 
+    /** Walkers handed across shard boundaries (sharded engine only). */
+    std::uint64_t migrations = 0;
+    /** Non-empty (src,dst) walker batches exchanged at round barriers. */
+    std::uint64_t migration_batches = 0;
+
     /** Steps served by reserved pre-samples (§3.3.5 counts separately). */
     std::uint64_t presample_steps = 0;
     /** Steps served directly from the currently loaded block. */
@@ -64,6 +69,9 @@ struct RunStats {
     /** Modeled seconds the engine was blocked waiting on block loads
      *  (deterministic pipeline-clock accounting, DESIGN.md §10). */
     double io_wait_seconds = 0.0;
+    /** Modeled seconds spent exchanging walker batches at shard round
+     *  barriers (DESIGN.md §11; overlapped by neither phase). */
+    double migration_wait_seconds = 0.0;
     /** Fraction of device bandwidth the engine's I/O path achieves. */
     double io_efficiency = 1.0;
     /** True when the engine overlaps I/O with computation. */

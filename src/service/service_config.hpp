@@ -73,6 +73,18 @@ struct ServiceConfig {
     std::uint64_t max_walkers = 0;
 
     /**
+     * Graph shards per worker engine (1 = the plain single-engine
+     * path).  > 1 dispatches batches onto a shard::ShardedEngine:
+     * each shard owns a contiguous block range and a private modeled
+     * device, and walkers migrate between shards in batches at round
+     * barriers.  Results are bit-identical at every value — request
+     * output is a pure function of the request seed (DESIGN.md §11).
+     * Note each shard keeps its own CSR index copy, so the minimum
+     * footprint scales with the shard count.
+     */
+    unsigned num_shards = 1;
+
+    /**
      * Over-budget policy: true queues requests until workers free
      * memory; false rejects at submission when the request would not
      * fit right now.

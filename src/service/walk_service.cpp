@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "core/noswalker_engine.hpp"
 #include "service/service_app.hpp"
+#include "shard/sharded_engine.hpp"
 #include "storage/block_reader.hpp"
 #include "util/error.hpp"
 
@@ -40,6 +41,10 @@ ServiceConfig::validate() const
     if (prefetch_reorder_window > 64) {
         throw util::ConfigError(
             "service: prefetch_reorder_window must be <= 64");
+    }
+    if (num_shards == 0 || num_shards > 256) {
+        throw util::ConfigError(
+            "service: num_shards must be in [1, 256]");
     }
     if (max_batch == 0) {
         throw util::ConfigError("service: max_batch must be >= 1");
@@ -82,7 +87,8 @@ to_string(WalkStatus status)
 }
 
 /**
- * One worker's reusable engine.  Lives here so walk_service.hpp does
+ * One worker's reusable engine — plain, or sharded when the config
+ * asks for more than one shard.  Lives here so walk_service.hpp does
  * not have to pull the whole engine template in.
  */
 class BatchRunner {
@@ -92,18 +98,32 @@ class BatchRunner {
                 const ServiceConfig &config, util::MemoryBudget *budget,
                 storage::SharedBlockCache *cache,
                 util::ThreadPool *step_pool)
-        : engine_(file, partition, engine_config(config))
     {
-        engine_.set_shared_budget(budget);
-        engine_.set_shared_cache(cache);
-        engine_.set_step_pool(step_pool);
+        if (config.num_shards > 1) {
+            sharded_ =
+                std::make_unique<shard::ShardedEngine<ServiceWalkApp>>(
+                    file, partition, engine_config(config));
+            sharded_->set_shared_budget(budget);
+            sharded_->set_shared_cache(cache);
+            sharded_->set_step_pool(step_pool);
+        } else {
+            engine_ =
+                std::make_unique<core::NosWalkerEngine<ServiceWalkApp>>(
+                    file, partition, engine_config(config));
+            engine_->set_shared_budget(budget);
+            engine_->set_shared_cache(cache);
+            engine_->set_step_pool(step_pool);
+        }
     }
 
     engine::RunStats
     run(ServiceWalkApp &app, std::uint64_t total_walkers,
         std::uint64_t seed)
     {
-        return engine_.run(app, total_walkers, seed);
+        if (sharded_) {
+            return sharded_->run(app, total_walkers, seed);
+        }
+        return engine_->run(app, total_walkers, seed);
     }
 
   private:
@@ -120,10 +140,12 @@ class BatchRunner {
         ec.step_threads = config.step_threads;
         ec.prefetch_depth = config.prefetch_depth;
         ec.prefetch_reorder_window = config.prefetch_reorder_window;
+        ec.num_shards = config.num_shards;
         return ec;
     }
 
-    core::NosWalkerEngine<ServiceWalkApp> engine_;
+    std::unique_ptr<core::NosWalkerEngine<ServiceWalkApp>> engine_;
+    std::unique_ptr<shard::ShardedEngine<ServiceWalkApp>> sharded_;
 };
 
 WalkService::WalkService(const graph::GraphFile &file,
@@ -143,7 +165,10 @@ WalkService::WalkService(const graph::GraphFile &file,
         step_pool_ =
             std::make_unique<util::ThreadPool>(config_.step_threads - 1);
     }
-    min_footprint_ = min_run_footprint(file, partition);
+    // Sharded engines duplicate the floor per shard (each shard holds
+    // its own CSR index copy, buffer pair, and minimum walker pool).
+    min_footprint_ = min_run_footprint(file, partition) *
+                     std::max(1u, config_.num_shards);
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
     workers_.reserve(config_.num_workers);
     for (unsigned i = 0; i < config_.num_workers; ++i) {

@@ -1,0 +1,21 @@
+#include "shard/migration_cost.hpp"
+
+namespace noswalker::shard {
+
+double
+MigrationCostModel::exchange_seconds(std::uint64_t messages,
+                                     std::uint64_t batches,
+                                     unsigned peers) const
+{
+    if (peers <= 1 || network_bps <= 0.0) {
+        return 0.0;
+    }
+    const double total_bytes =
+        static_cast<double>(messages) * message_bytes;
+    const double bytes_per_second = network_bps / 8.0;
+    return total_bytes / (bytes_per_second * peers) +
+           static_cast<double>(batches) * batch_overhead_seconds /
+               peers;
+}
+
+} // namespace noswalker::shard

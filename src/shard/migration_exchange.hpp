@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Batched walker exchange between shards at round barriers.
+ *
+ * During a round every shard collects its emigrants locally; at the
+ * barrier it buckets them into per-(src,dst) batches and posts them
+ * all under one lock (BlockingQueue::push_batch).  The orchestrator
+ * then drains the queue in one acquisition (pop_all) and sorts the
+ * batches by (dst, src), so delivery order — and therefore the next
+ * round's admission order — is a pure function of the walk, never of
+ * which shard thread reached the barrier first.
+ */
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+
+namespace noswalker::shard {
+
+/** One shard-to-shard walker consignment of one round. */
+template <typename Record>
+struct MigrationBatch {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t round = 0;
+    std::vector<Record> records;
+};
+
+/** Conservation counters of a MigrationExchange. */
+struct ExchangeCounters {
+    std::uint64_t posted_records = 0;
+    std::uint64_t posted_batches = 0;
+    std::uint64_t delivered_records = 0;
+    std::uint64_t delivered_batches = 0;
+};
+
+/**
+ * Multi-producer (shard threads), single-drainer (round orchestrator)
+ * exchange.  Unbounded: a round's emigrant volume is already bounded
+ * by the shards' walker-pool caps.
+ */
+template <typename Record>
+class MigrationExchange {
+  public:
+    using Batch = MigrationBatch<Record>;
+
+    MigrationExchange() : queue_(0) {}
+
+    /** Post one shard's outgoing batches (one lock acquisition).
+     *  @return false when the exchange was closed (batches dropped). */
+    bool
+    post(std::vector<Batch> batches)
+    {
+        std::uint64_t records = 0;
+        for (const Batch &b : batches) {
+            records += b.records.size();
+        }
+        const std::uint64_t count = batches.size();
+        if (!queue_.push_batch(std::move(batches))) {
+            return false;
+        }
+        posted_records_.fetch_add(records, std::memory_order_relaxed);
+        posted_batches_.fetch_add(count, std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Drain everything posted this round (the caller's barrier
+     * guarantees all producers have posted), in deterministic
+     * (dst, src) order.
+     */
+    std::vector<Batch>
+    collect()
+    {
+        std::vector<Batch> all = queue_.pop_all();
+        std::sort(all.begin(), all.end(),
+                  [](const Batch &a, const Batch &b) {
+                      return a.dst != b.dst ? a.dst < b.dst
+                                            : a.src < b.src;
+                  });
+        std::uint64_t records = 0;
+        for (const Batch &b : all) {
+            records += b.records.size();
+        }
+        delivered_records_.fetch_add(records, std::memory_order_relaxed);
+        delivered_batches_.fetch_add(all.size(),
+                                     std::memory_order_relaxed);
+        return all;
+    }
+
+    /** Fail all future posts (shutdown). */
+    void close() { queue_.close(); }
+
+    /** Batches posted but not yet collected (0 after a clean run). */
+    std::size_t pending() const { return queue_.size(); }
+
+    ExchangeCounters
+    counters() const
+    {
+        ExchangeCounters c;
+        c.posted_records =
+            posted_records_.load(std::memory_order_relaxed);
+        c.posted_batches =
+            posted_batches_.load(std::memory_order_relaxed);
+        c.delivered_records =
+            delivered_records_.load(std::memory_order_relaxed);
+        c.delivered_batches =
+            delivered_batches_.load(std::memory_order_relaxed);
+        return c;
+    }
+
+  private:
+    util::BlockingQueue<Batch> queue_;
+    std::atomic<std::uint64_t> posted_records_{0};
+    std::atomic<std::uint64_t> posted_batches_{0};
+    std::atomic<std::uint64_t> delivered_records_{0};
+    std::atomic<std::uint64_t> delivered_batches_{0};
+};
+
+} // namespace noswalker::shard

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-shard modeled device over a shared byte store.
+ *
+ * Every shard of a ShardedEngine owns one of these: reads serve their
+ * bytes from the base device's payload via the unaccounted peek() path,
+ * while requests are charged to this adapter's *private* SsdModel and
+ * counters.  N shards over one graph image therefore model N
+ * independent devices — the multi-device scale-out the shard-count
+ * ablation measures — without duplicating the stored bytes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "storage/io_device.hpp"
+#include "util/error.hpp"
+
+namespace noswalker::shard {
+
+/** Read-only IoDevice adapter with a private cost model and counters. */
+class ShardDevice final : public storage::IoDevice {
+  public:
+    /** Adapter over @p base, priced by @p model.  @p base must outlive
+     *  this device. */
+    ShardDevice(storage::IoDevice &base, storage::SsdModel model)
+        : IoDevice(model), base_(&base)
+    {
+    }
+
+    std::uint64_t size() const override { return base_->size(); }
+
+  protected:
+    void
+    do_read(std::uint64_t offset, std::uint64_t len,
+            void *buffer) override
+    {
+        base_->peek(offset, len, buffer);
+    }
+
+    void
+    do_write(std::uint64_t, std::uint64_t, const void *) override
+    {
+        throw util::IoError("ShardDevice is read-only");
+    }
+
+  private:
+    storage::IoDevice *base_;
+};
+
+} // namespace noswalker::shard

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Sharded scale-out engine: N NosWalker engines over one graph, each
+ * owning a contiguous block range, a private modeled device, and a 1/N
+ * slice of the memory budget, stepping concurrently on a fork-join
+ * pool (DESIGN.md §11).
+ *
+ * Execution proceeds in rounds.  Each round, every shard with waiting
+ * walkers runs its engine to local quiescence: walkers whose next
+ * vertex another shard owns are handed back as emigrants instead of
+ * parking.  At the round barrier the emigrants are exchanged as
+ * batched per-(src,dst) consignments (MigrationExchange) and become
+ * the next round's inboxes.  The round ends when no shard holds a
+ * walker.
+ *
+ * Determinism: every walker carries its private SplitMix64 stream
+ * (engine::Stepped) across migrations, streams are derived exactly as
+ * the plain engine derives them, and pre-sampling — the one mechanism
+ * whose output depends on load timing — is forced off for shard
+ * rounds.  A trajectory is therefore a pure function of (seed, walker
+ * id, graph): endpoints and visit counts are bit-identical across
+ * {1, 2, N} shards, any step-thread count, and any shard→thread
+ * placement.
+ *
+ * Modeled time: shards run concurrently, so each round contributes the
+ * *maximum* of the per-shard I/O / CPU / wait phases; raw counters
+ * sum.  Barrier exchanges add migration_wait_seconds priced by the
+ * same MigrationCostModel the KnightKing baseline uses.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/noswalker_engine.hpp"
+#include "engine/app.hpp"
+#include "engine/run_stats.hpp"
+#include "engine/walker.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "shard/migration_cost.hpp"
+#include "shard/migration_exchange.hpp"
+#include "shard/shard_device.hpp"
+#include "shard/shard_plan.hpp"
+#include "util/memory_budget.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace noswalker::shard {
+
+/**
+ * Partitioned multi-engine walk executor with deterministic batched
+ * walker migration.
+ *
+ * @tparam App  a RandomWalkApp whose state is safe to step from
+ *              multiple shard threads at once (per-walker output
+ *              slots, atomic shared counters — the same contract as
+ *              multi-threaded stepping in the plain engine).
+ */
+template <engine::RandomWalkApp App>
+class ShardedEngine {
+  public:
+    using WalkerT = typename App::WalkerT;
+    using Record = engine::Stepped<WalkerT>;
+    using Engine = core::NosWalkerEngine<App>;
+
+    /** Wire cost of barrier exchanges; shared with the KnightKing
+     *  baseline via shard/migration_cost.hpp.  Adjust before run(). */
+    MigrationCostModel cost_model;
+
+    /**
+     * @param file  the on-disk graph (base byte store; each shard
+     *              reads it through a private modeled device).
+     * @param partition  1-D block partition of @p file.
+     * @param config  engine configuration; num_shards picks the shard
+     *                count (clamped to the block count), memory_budget
+     *                is sliced 1/N per shard.
+     */
+    ShardedEngine(const graph::GraphFile &file,
+                  const graph::BlockPartition &partition,
+                  core::EngineConfig config)
+        : file_(&file), partition_(&partition), config_(config),
+          plan_(partition, std::max(1u, config.num_shards)),
+          shard_pool_(plan_.num_shards() - 1)
+    {
+        config_.validate();
+        build_shards();
+    }
+
+    /**
+     * Share one budget across every shard engine (walk-service mode)
+     * instead of the private 1/N slices.  Pass nullptr to revert.
+     */
+    void
+    set_shared_budget(util::MemoryBudget *budget)
+    {
+        shared_budget_ = budget;
+        for (Shard &shard : shards_) {
+            shard.engine->set_shared_budget(
+                budget != nullptr ? budget : shard.budget.get());
+        }
+    }
+
+    /** Serve coarse loads through a cache shared across shards. */
+    void
+    set_shared_cache(storage::SharedBlockCache *cache)
+    {
+        for (Shard &shard : shards_) {
+            shard.engine->set_shared_cache(cache);
+        }
+    }
+
+    /**
+     * Step every shard's blocks on one external pool (the walk
+     * service's).  The pool serializes concurrent engines, so shards
+     * then interleave stepping instead of running it in parallel —
+     * safe, and output-identical (per-walker streams).
+     */
+    void
+    set_step_pool(util::ThreadPool *pool)
+    {
+        for (Shard &shard : shards_) {
+            shard.engine->set_step_pool(pool);
+        }
+    }
+
+    /** Shards actually planned (num_shards clamped to the blocks). */
+    unsigned num_shards() const { return plan_.num_shards(); }
+
+    /** The block assignment. */
+    const ShardPlan &plan() const { return plan_; }
+
+    /** Migration rounds of the last run. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Conservation counters of the last run's exchange. */
+    const ExchangeCounters &exchange_counters() const { return exchange_; }
+
+    /** Per-shard lifetime totals of the last run (bench reporting). */
+    const std::vector<engine::RunStats> &
+    shard_stats() const
+    {
+        return shard_totals_;
+    }
+
+    engine::RunStats
+    run(App &app, std::uint64_t total_walkers)
+    {
+        return run(app, total_walkers, config_.seed);
+    }
+
+    /**
+     * Execute @p total_walkers walkers of @p app to completion across
+     * the shards, seeding streams from @p seed exactly as the plain
+     * engine would.
+     */
+    engine::RunStats
+    run(App &app, std::uint64_t total_walkers, std::uint64_t seed)
+    {
+        util::Timer wall;
+        const unsigned n = plan_.num_shards();
+        rounds_ = 0;
+        exchange_ = ExchangeCounters{};
+        shard_totals_.assign(n, engine::RunStats{});
+
+        engine::RunStats total;
+        total.engine = "ShardedNosWalker";
+        total.pipelined = true;
+        total.io_efficiency = core::kAsyncIoEfficiency;
+
+        // Generate and route every walker up front: the router needs
+        // each start vertex, and the record (walker + stream) must be
+        // identical to what the plain engine would generate.
+        std::vector<std::vector<Record>> inbox(n);
+        for (std::uint64_t id = 0; id < total_walkers; ++id) {
+            Record rec;
+            rec.w = app.generate(id);
+            rec.rng_state = util::derive_stream(seed, id);
+            const std::uint32_t b =
+                partition_->block_of(engine::waiting_vertex(app, rec.w));
+            inbox[plan_.shard_of_block(b)].push_back(std::move(rec));
+        }
+
+        MigrationExchange<Record> exchange;
+        std::vector<engine::RunStats> round_stats(n);
+        const auto live = [&] {
+            for (const std::vector<Record> &box : inbox) {
+                if (!box.empty()) {
+                    return true;
+                }
+            }
+            return false;
+        };
+
+        while (live()) {
+            ++rounds_;
+            for (engine::RunStats &rs : round_stats) {
+                rs = engine::RunStats{};
+            }
+            // Fork: each shard runs its engine to local quiescence and
+            // posts its emigrants.  The pool's run() is the barrier.
+            shard_pool_.run(n, [&](std::size_t s) {
+                if (inbox[s].empty()) {
+                    return;
+                }
+                std::vector<Record> records = std::move(inbox[s]);
+                inbox[s].clear();
+                std::vector<Record> emigrants;
+                const ShardRange &range = plan_.shard(
+                    static_cast<unsigned>(s));
+                round_stats[s] = shards_[s].engine->run_records(
+                    app, std::move(records), seed, range.first_block,
+                    range.end_block, &emigrants);
+                post_emigrants(app, exchange,
+                               static_cast<std::uint32_t>(s),
+                               std::move(emigrants));
+            });
+            aggregate_round(total, round_stats);
+
+            // Barrier passed: deliver this round's batches and price
+            // the exchange.
+            std::uint64_t round_records = 0;
+            std::vector<MigrationBatch<Record>> batches =
+                exchange.collect();
+            const std::uint64_t round_batches = batches.size();
+            for (MigrationBatch<Record> &batch : batches) {
+                round_records += batch.records.size();
+                std::vector<Record> &dst = inbox[batch.dst];
+                dst.insert(dst.end(),
+                           std::make_move_iterator(batch.records.begin()),
+                           std::make_move_iterator(batch.records.end()));
+            }
+            total.migrations += round_records;
+            total.migration_batches += round_batches;
+            total.migration_wait_seconds += cost_model.exchange_seconds(
+                round_records, round_batches, n);
+        }
+        exchange.close();
+        exchange_ = exchange.counters();
+
+        finalize_totals(total);
+        total.wall_seconds = wall.seconds();
+        return total;
+    }
+
+  private:
+    struct Shard {
+        std::unique_ptr<ShardDevice> device;
+        std::unique_ptr<graph::GraphFile> file;
+        /** Private 1/N budget slice (bypassed in shared-budget mode). */
+        std::unique_ptr<util::MemoryBudget> budget;
+        std::unique_ptr<Engine> engine;
+    };
+
+    void
+    build_shards()
+    {
+        const unsigned n = plan_.num_shards();
+        const std::uint64_t slice =
+            config_.memory_budget == 0 ? 0 : config_.memory_budget / n;
+        core::EngineConfig shard_config = config_;
+        shard_config.num_shards = 1;
+        // The budget is attached explicitly (slice or shared); the
+        // engine-local cap is unused.
+        shard_config.memory_budget = 0;
+        shards_.reserve(n);
+        for (unsigned s = 0; s < n; ++s) {
+            Shard shard;
+            shard.device = std::make_unique<ShardDevice>(
+                file_->device(), file_->device().model());
+            shard.file =
+                std::make_unique<graph::GraphFile>(*shard.device);
+            shard.budget = std::make_unique<util::MemoryBudget>(slice);
+            shard.engine = std::make_unique<Engine>(
+                *shard.file, *partition_, shard_config);
+            shard.engine->set_shared_budget(shard.budget.get());
+            shards_.push_back(std::move(shard));
+        }
+    }
+
+    /** Bucket @p emigrants by destination shard (in outbox order) and
+     *  post the non-empty batches.  Runs on the shard's thread. */
+    void
+    post_emigrants(App &app, MigrationExchange<Record> &exchange,
+                   std::uint32_t src, std::vector<Record> emigrants)
+    {
+        if (emigrants.empty()) {
+            return;
+        }
+        const unsigned n = plan_.num_shards();
+        std::vector<std::vector<Record>> by_dst(n);
+        for (Record &rec : emigrants) {
+            const std::uint32_t b = partition_->block_of(
+                engine::waiting_vertex(app, rec.w));
+            by_dst[plan_.shard_of_block(b)].push_back(std::move(rec));
+        }
+        std::vector<MigrationBatch<Record>> out;
+        for (std::uint32_t d = 0; d < n; ++d) {
+            if (by_dst[d].empty()) {
+                continue;
+            }
+            MigrationBatch<Record> batch;
+            batch.src = src;
+            batch.dst = d;
+            batch.round = rounds_;
+            batch.records = std::move(by_dst[d]);
+            out.push_back(std::move(batch));
+        }
+        exchange.post(std::move(out));
+    }
+
+    /**
+     * Fold one round into @p total: counters sum across shards; the
+     * time phases take the per-round maximum (shards run those phases
+     * concurrently) and the maxima sum across rounds.
+     */
+    void
+    aggregate_round(engine::RunStats &total,
+                    const std::vector<engine::RunStats> &round_stats)
+    {
+        double cpu = 0.0;
+        double io = 0.0;
+        double wait = 0.0;
+        for (const engine::RunStats &s : round_stats) {
+            total.walkers += s.walkers;
+            total.steps += s.steps;
+            total.graph_bytes_read += s.graph_bytes_read;
+            total.graph_read_requests += s.graph_read_requests;
+            total.edges_loaded += s.edges_loaded;
+            total.swap_bytes += s.swap_bytes;
+            total.blocks_loaded += s.blocks_loaded;
+            total.fine_loads += s.fine_loads;
+            total.cache_hit_blocks += s.cache_hit_blocks;
+            total.prefetch_hits += s.prefetch_hits;
+            total.prefetch_mispredicts += s.prefetch_mispredicts;
+            total.presample_steps += s.presample_steps;
+            total.block_steps += s.block_steps;
+            total.stalls += s.stalls;
+            total.rejection_trials += s.rejection_trials;
+            total.rejection_rejected += s.rejection_rejected;
+            cpu = std::max(cpu, s.cpu_seconds);
+            io = std::max(io, s.io_busy_seconds);
+            wait = std::max(wait, s.io_wait_seconds);
+        }
+        total.cpu_seconds += cpu;
+        total.io_busy_seconds += io;
+        total.io_wait_seconds += wait;
+        for (std::size_t s = 0; s < round_stats.size(); ++s) {
+            shard_totals_[s] += round_stats[s];
+        }
+    }
+
+    void
+    finalize_totals(engine::RunStats &total)
+    {
+        if (shared_budget_ != nullptr) {
+            total.peak_memory = shared_budget_->peak();
+            return;
+        }
+        // Private slices are held simultaneously: the footprint is
+        // their sum (each slice's peak is monotone across rounds).
+        std::uint64_t peak = 0;
+        for (const Shard &shard : shards_) {
+            peak += shard.budget->peak();
+        }
+        total.peak_memory = peak;
+    }
+
+    const graph::GraphFile *file_;
+    const graph::BlockPartition *partition_;
+    core::EngineConfig config_;
+    ShardPlan plan_;
+    /** Fork-join pool for the shard round (distinct from the engines'
+     *  step pools: nested run() on one pool would deadlock). */
+    util::ThreadPool shard_pool_;
+    std::vector<Shard> shards_;
+    util::MemoryBudget *shared_budget_ = nullptr;
+
+    std::uint64_t rounds_ = 0;
+    ExchangeCounters exchange_;
+    std::vector<engine::RunStats> shard_totals_;
+};
+
+} // namespace noswalker::shard

@@ -55,6 +55,17 @@ class IoDevice {
     /** Write @p len bytes at @p offset from @p buffer. */
     void write(std::uint64_t offset, std::uint64_t len, const void *buffer);
 
+    /**
+     * Read without touching this device's accounting or cost model:
+     * the data path for adapter devices (shard::ShardDevice) that keep
+     * a private model over a shared byte store.
+     */
+    void
+    peek(std::uint64_t offset, std::uint64_t len, void *buffer)
+    {
+        do_read(offset, len, buffer);
+    }
+
     /** The device's cost model. */
     const SsdModel &model() const { return model_; }
 

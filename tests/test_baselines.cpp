@@ -317,6 +317,9 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     s.io_wait_seconds = 2.0;
     s.prefetch_hits = 40;
     s.prefetch_mispredicts = 8;
+    s.migrations = 100;
+    s.migration_batches = 10;
+    s.migration_wait_seconds = 0.4;
     s.presample_bytes_used = 1000;
     s.presample_bytes_total = 4000;
     s.peak_memory = 512;
@@ -327,6 +330,9 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     EXPECT_DOUBLE_EQ(half.io_wait_seconds, 1.0);
     EXPECT_EQ(half.prefetch_hits, 20u);
     EXPECT_EQ(half.prefetch_mispredicts, 4u);
+    EXPECT_EQ(half.migrations, 50u);
+    EXPECT_EQ(half.migration_batches, 5u);
+    EXPECT_DOUBLE_EQ(half.migration_wait_seconds, 0.2);
     EXPECT_EQ(half.presample_bytes_used, 1000u)
         << "shared pool size is not divisible across tenants";
     EXPECT_EQ(half.presample_bytes_total, 4000u);
@@ -339,6 +345,9 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     other.io_wait_seconds = 0.5;
     other.prefetch_hits = 5;
     other.prefetch_mispredicts = 1;
+    other.migrations = 7;
+    other.migration_batches = 2;
+    other.migration_wait_seconds = 0.1;
     other.presample_bytes_used = 3000;
     other.presample_bytes_total = 3000;
     other.peak_memory = 1024;
@@ -347,6 +356,9 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     EXPECT_DOUBLE_EQ(sum.io_wait_seconds, 1.5);
     EXPECT_EQ(sum.prefetch_hits, 25u);
     EXPECT_EQ(sum.prefetch_mispredicts, 5u);
+    EXPECT_EQ(sum.migrations, 57u);
+    EXPECT_EQ(sum.migration_batches, 7u);
+    EXPECT_DOUBLE_EQ(sum.migration_wait_seconds, 0.3);
     EXPECT_EQ(sum.presample_bytes_used, 3000u) << "max, not sum";
     EXPECT_EQ(sum.presample_bytes_total, 4000u) << "max, not sum";
     EXPECT_EQ(sum.peak_memory, 1024u) << "max, not sum";

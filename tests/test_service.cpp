@@ -142,6 +142,69 @@ TEST(WalkService, ResultsBitIdenticalAcrossWorkerCountsAndBatching)
     }
 }
 
+TEST(WalkService, ShardedBackendMatchesPlainServiceBitForBit)
+{
+    // Per-walker streams make every request's output a pure function
+    // of its own seed, so a service running sharded engines must
+    // reproduce the single-engine service exactly — including the
+    // per-request walker/step accounting.
+    Fixture s(skewed_graph(), 4096);
+    const auto requests = canned_requests(s.file->num_vertices());
+
+    ServiceConfig base;
+    base.cache_bytes = 1ULL << 20;
+    base.batch_window_seconds = 0.002;
+    base.num_workers = 2;
+    base.max_batch = 4;
+
+    ServiceConfig plain = base;
+    plain.num_shards = 1;
+    const auto reference = run_all(s, plain, requests);
+
+    for (const unsigned shards : {2u, 4u}) {
+        ServiceConfig cfg = base;
+        cfg.num_shards = shards;
+        const auto results = run_all(s, cfg, requests);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASSERT_EQ(results[i].status, WalkStatus::kOk)
+                << "request " << i << ": " << results[i].error;
+            EXPECT_EQ(results[i].endpoints, reference[i].endpoints)
+                << "request " << i << " at " << shards << " shards";
+            EXPECT_EQ(results[i].paths, reference[i].paths)
+                << "request " << i << " at " << shards << " shards";
+            EXPECT_EQ(results[i].top_visits, reference[i].top_visits)
+                << "request " << i << " at " << shards << " shards";
+            EXPECT_EQ(results[i].stats.walkers,
+                      reference[i].stats.walkers);
+            EXPECT_EQ(results[i].stats.steps, reference[i].stats.steps);
+        }
+    }
+}
+
+TEST(WalkService, ShardedServiceScalesMinFootprint)
+{
+    // Each shard holds its own CSR index copy and buffers, so the
+    // admission floor multiplies by the shard count: a budget that
+    // admits one engine can reject a four-shard configuration.
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+    const std::uint64_t floor_one =
+        WalkService::min_run_footprint(*s.file, *s.partition);
+
+    ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.num_shards = 4;
+    cfg.cache_bytes = 0;
+    cfg.memory_budget = floor_one * 2; // enough for 1 shard, not 4
+
+    WalkService service(*s.file, *s.partition, cfg);
+    WalkRequest request;
+    request.starts = {1};
+    const WalkResult result = service.submit(request).get();
+    EXPECT_EQ(result.status, WalkStatus::kRejectedBudget);
+    EXPECT_EQ(service.counters().rejected_budget, 1u);
+}
+
 TEST(WalkService, PathsFollowRealEdges)
 {
     Fixture s(skewed_graph(), 4096);

@@ -13,10 +13,10 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards) =="
+echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration' --output-on-failure
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|StepKernel' --output-on-failure
 
 echo
 echo "== tier 1: prefetch smoke (reorder-window + depth ablations) =="
@@ -27,6 +27,10 @@ echo
 echo "== tier 1: sharded smoke (cross-shard bit-identity + migration conservation) =="
 ctest --test-dir build -R 'Sharded|Migration|ShardPlan' --output-on-failure -j "$JOBS"
 ./build/bench/shard_scaling >/dev/null
+
+echo
+echo "== tier 1: cohort smoke (scalar vs cohort bit-identity + batch draws) =="
+ctest --test-dir build -R 'StepKernel|AliasTableBatch' --output-on-failure -j "$JOBS"
 
 echo
 echo "tier 1 passed"

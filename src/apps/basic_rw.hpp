@@ -51,6 +51,16 @@ class BasicRandomWalk {
         return view.sample_uniform(rng);
     }
 
+    /** Step-kernel draw hint: dry-run the uniform draw on the probe
+     *  copy and warm the exact target slot it lands on (DESIGN.md
+     *  §12). */
+    unsigned
+    gather(const WalkerT &, const graph::VertexView &view,
+           util::Rng probe) const
+    {
+        return view.prefetch_uniform_draw(probe);
+    }
+
     bool active(const WalkerT &w) const { return w.step < length_; }
 
     bool
@@ -71,5 +81,6 @@ class BasicRandomWalk {
 };
 
 static_assert(engine::RandomWalkApp<BasicRandomWalk>);
+static_assert(engine::DrawHintApp<BasicRandomWalk>);
 
 } // namespace noswalker::apps

@@ -17,6 +17,7 @@
 
 #include "engine/app.hpp"
 #include "engine/walker.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker::apps {
@@ -67,6 +68,31 @@ class Node2Vec {
     sample(const graph::VertexView &view, util::Rng &rng)
     {
         return view.sample_uniform(rng);
+    }
+
+    /**
+     * Step-kernel gather hint (DESIGN.md §12).  With a trial pending,
+     * @p view is the candidate's adjacency and rejection() binary
+     * searches it for w.prev — warm the probe points (ends + middle);
+     * otherwise the next touch is a uniform candidate draw from the
+     * head of the list.
+     */
+    unsigned
+    gather(const WalkerT &w, const graph::VertexView &view) const
+    {
+        const std::size_t n = view.targets.size();
+        if (n == 0) {
+            return 0;
+        }
+        if (w.candidate != graph::kInvalidVertex && view.id == w.candidate &&
+            w.prev != graph::kInvalidVertex) {
+            util::prefetch_line(&view.targets[0]);
+            util::prefetch_line(&view.targets[n / 2]);
+            util::prefetch_line(&view.targets[n - 1]);
+            return 3;
+        }
+        return util::prefetch_range(view.targets.data(),
+                                    view.targets.size_bytes(), 2);
     }
 
     bool active(const WalkerT &w) const { return w.step < length_; }
@@ -135,5 +161,6 @@ class Node2Vec {
 };
 
 static_assert(engine::SecondOrderApp<Node2Vec>);
+static_assert(engine::GatherHintApp<Node2Vec>);
 
 } // namespace noswalker::apps

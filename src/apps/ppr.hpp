@@ -16,6 +16,7 @@
 
 #include "engine/app.hpp"
 #include "engine/walker.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker::apps {
@@ -63,6 +64,26 @@ class PersonalizedPageRank {
     sample(const graph::VertexView &view, util::Rng &rng)
     {
         return view.sample_uniform(rng);
+    }
+
+    /** Step-kernel gather hint: uniform sampling touches one random
+     *  target slot, so warming the head lines covers the common
+     *  low-degree case outright (DESIGN.md §12). */
+    unsigned
+    gather(const WalkerT &, const graph::VertexView &view) const
+    {
+        return util::prefetch_range(view.targets.data(),
+                                    view.targets.size_bytes(), 2);
+    }
+
+    /** Draw-hint refinement: with the probe copy the landing slot is
+     *  exact rather than guessed, which matters on the high-degree
+     *  vertices where steps concentrate (DESIGN.md §12). */
+    unsigned
+    gather(const WalkerT &, const graph::VertexView &view,
+           util::Rng probe) const
+    {
+        return view.prefetch_uniform_draw(probe);
     }
 
     bool active(const WalkerT &w) const { return w.step < length_; }
@@ -131,5 +152,7 @@ PersonalizedPageRank::top_k(std::size_t source_index, std::size_t k) const
 }
 
 static_assert(engine::RandomWalkApp<PersonalizedPageRank>);
+static_assert(engine::GatherHintApp<PersonalizedPageRank>);
+static_assert(engine::DrawHintApp<PersonalizedPageRank>);
 
 } // namespace noswalker::apps

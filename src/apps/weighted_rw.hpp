@@ -10,6 +10,7 @@
 
 #include "engine/app.hpp"
 #include "engine/walker.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker::apps {
@@ -40,6 +41,40 @@ class WeightedRandomWalk {
         return view.sample_weighted(rng);
     }
 
+    /**
+     * Step-kernel gather hint (DESIGN.md §12): an alias draw touches
+     * one (prob, alias) row pair plus the chosen target; without alias
+     * tables the O(degree) prefix scan streams the whole weight array,
+     * so warm more of it.
+     */
+    unsigned
+    gather(const WalkerT &, const graph::VertexView &view) const
+    {
+        if (!view.prob.empty()) {
+            unsigned n = util::prefetch_range(
+                view.prob.data(), view.prob.size_bytes(), 2);
+            n += util::prefetch_range(view.alias.data(),
+                                      view.alias.size_bytes(), 2);
+            n += util::prefetch_range(view.targets.data(),
+                                      view.targets.size_bytes(), 2);
+            return n;
+        }
+        return util::prefetch_range(view.weights.data(),
+                                    view.weights.size_bytes(), 4) +
+               util::prefetch_range(view.targets.data(),
+                                    view.targets.size_bytes(), 2);
+    }
+
+    /** Draw-hint refinement: the probe copy makes the alias slot exact
+     *  (one row pair + its target) instead of head-line guesses
+     *  (DESIGN.md §12). */
+    unsigned
+    gather(const WalkerT &, const graph::VertexView &view,
+           util::Rng probe) const
+    {
+        return view.prefetch_weighted_draw(probe);
+    }
+
     bool active(const WalkerT &w) const { return w.step < length_; }
 
     bool
@@ -57,5 +92,7 @@ class WeightedRandomWalk {
 };
 
 static_assert(engine::RandomWalkApp<WeightedRandomWalk>);
+static_assert(engine::GatherHintApp<WeightedRandomWalk>);
+static_assert(engine::DrawHintApp<WeightedRandomWalk>);
 
 } // namespace noswalker::apps

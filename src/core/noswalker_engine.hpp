@@ -44,6 +44,7 @@
 #include "core/config.hpp"
 #include "core/prefetch_pipeline.hpp"
 #include "core/presample_buffer.hpp"
+#include "core/step_kernel.hpp"
 #include "core/walker_pool.hpp"
 #include "engine/app.hpp"
 #include "engine/run_stats.hpp"
@@ -77,6 +78,7 @@ template <engine::RandomWalkApp App>
 class NosWalkerEngine {
   public:
     using WalkerT = typename App::WalkerT;
+    using AppT = App;
     /** What the pool parks: the app walker + its sampling stream. */
     using Record = engine::Stepped<WalkerT>;
     static constexpr bool kSecondOrder = engine::kIsSecondOrder<App>;
@@ -260,6 +262,12 @@ class NosWalkerEngine {
     }
 
   private:
+    /** The interleaved cohort stepping loop reuses the engine's private
+     *  resolution helpers so per-step semantics live in one place
+     *  (DESIGN.md §12). */
+    template <typename E>
+    friend class StepKernel;
+
     /**
      * One step worker's private accumulator: stats deltas plus walkers
      * to park.  Merged into the engine's single-writer structures by
@@ -274,6 +282,9 @@ class NosWalkerEngine {
         std::uint64_t retired = 0;
         std::uint64_t rejection_trials = 0;
         std::uint64_t rejection_rejected = 0;
+        std::uint64_t kernel_cohorts = 0;
+        std::uint64_t kernel_prefetches = 0;
+        std::uint64_t kernel_scalar_fallbacks = 0;
         std::vector<std::pair<std::uint32_t, Record>> parked;
         /** Shard mode: walkers whose waiting block another shard owns. */
         std::vector<Record> emigrants;
@@ -794,9 +805,7 @@ class NosWalkerEngine {
         const std::size_t shards = shard_count(records.size());
         if (shards <= 1) {
             StepDelta delta;
-            for (Record &rec : records) {
-                chain_move(app, std::move(rec), resp, delta);
-            }
+            step_span(app, records, 0, records.size(), resp, delta);
             apply_delta(delta);
         } else {
             std::vector<StepDelta> deltas(shards);
@@ -806,10 +815,7 @@ class NosWalkerEngine {
                 const std::size_t begin = s * per;
                 const std::size_t end =
                     std::min(records.size(), begin + per);
-                StepDelta &delta = deltas[s];
-                for (std::size_t i = begin; i < end; ++i) {
-                    chain_move(app, std::move(records[i]), resp, delta);
-                }
+                step_span(app, records, begin, end, resp, deltas[s]);
             });
             // Shard barrier passed: merge in worker-index order so the
             // single-writer structures see a deterministic sequence.
@@ -828,6 +834,34 @@ class NosWalkerEngine {
         }
     }
 
+    /**
+     * Step records[begin, end) — one worker shard's span — through the
+     * cohort kernel, or the legacy scalar loop when the kernel is off
+     * (step_cohort <= 1) or the span is too small to interleave.  Both
+     * paths produce bit-identical walk output (DESIGN.md §12).
+     */
+    void
+    step_span(App &app, std::vector<Record> &records, std::size_t begin,
+              std::size_t end, const storage::AsyncLoader::Response *resp,
+              StepDelta &delta)
+    {
+        if (begin >= end) {
+            return;
+        }
+        if (config_.step_cohort >= 2 && end - begin >= 2) {
+            const storage::BlockBuffer *buf =
+                resp != nullptr ? &resp->buffer : nullptr;
+            StepKernel<NosWalkerEngine>::run(*this, app, records, begin,
+                                             end, buf, delta,
+                                             config_.step_cohort);
+            return;
+        }
+        ++delta.kernel_scalar_fallbacks;
+        for (std::size_t i = begin; i < end; ++i) {
+            chain_move(app, std::move(records[i]), resp, delta);
+        }
+    }
+
     /** Fold one worker's delta into the engine (scheduler thread). */
     void
     apply_delta(StepDelta &delta)
@@ -838,6 +872,9 @@ class NosWalkerEngine {
         stats_.stalls += delta.stalls;
         stats_.rejection_trials += delta.rejection_trials;
         stats_.rejection_rejected += delta.rejection_rejected;
+        stats_.kernel_cohorts += delta.kernel_cohorts;
+        stats_.kernel_prefetches += delta.kernel_prefetches;
+        stats_.kernel_scalar_fallbacks += delta.kernel_scalar_fallbacks;
         stats_.walkers += delta.retired;
         // Emigrants free their pool slot without retiring: their walk
         // continues on the owning shard next round.  Worker-index merge

@@ -43,6 +43,7 @@
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
 #include "util/memory_budget.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker::core {
@@ -193,6 +194,43 @@ class PreSampleBuffer {
         const std::uint32_t begin = idx_[i];
         const std::uint32_t n = idx_[i + 1] - begin;
         return edges_[begin + rng.next_index(n)];
+    }
+
+    /**
+     * Hint @p v's slot storage ahead of a sample()/direct_view() draw
+     * — the step kernel's gather stage for pre-sample-served lanes
+     * (DESIGN.md §12).  Pure read hint; never touches cursors.
+     * @return the number of hints issued.
+     */
+    unsigned
+    prefetch_slots(graph::VertexId v, unsigned max_lines = 2) const
+    {
+        const std::size_t i = index_of(v);
+        const std::uint32_t begin = idx_[i];
+        const std::uint32_t slots = idx_[i + 1] - begin;
+        if (slots == 0) {
+            return 0;
+        }
+        return util::prefetch_range(
+            edges_.data() + begin,
+            std::size_t{slots} * sizeof(graph::VertexId), max_lines);
+    }
+
+    /**
+     * Exact-slot variant of prefetch_slots: dry-run the draw on
+     * @p probe — a copy of the exact per-event stream sample() will
+     * consume — and hint the one slot it lands on (DESIGN.md §12).
+     * Pure read hint; never touches cursors.
+     * @return the number of hints issued.  @pre has(v) && !is_direct(v).
+     */
+    unsigned
+    prefetch_draw(graph::VertexId v, util::Rng probe) const
+    {
+        const std::size_t i = index_of(v);
+        const std::uint32_t begin = idx_[i];
+        const std::uint32_t n = idx_[i + 1] - begin;
+        util::prefetch_line(&edges_[begin + probe.next_index(n)]);
+        return 1;
     }
 
     /** Account one consumed draw of @p v (thread safe). */

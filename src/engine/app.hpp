@@ -93,6 +93,55 @@ template <typename A>
 inline constexpr bool kIsWalkerAware = WalkerAwareApp<A>;
 
 /**
+ * Gather-hint extension (DESIGN.md §12): the app exposes the addresses
+ * its sample()/rejection() will actually touch, so the step kernel's
+ * gather stage can prefetch them one pipeline stage ahead of the draw.
+ *
+ * gather(w, view) must be a pure hint — no walker or app state may
+ * change and no random draws may be consumed — so skipping it (scalar
+ * path, non-GNU compilers) cannot change walk output.  It returns the
+ * number of hints issued, which feeds RunStats::kernel_prefetches.
+ */
+template <typename A>
+concept GatherHintApp =
+    RandomWalkApp<A> &&
+    requires(const A app, const typename A::WalkerT &cw,
+             const graph::VertexView &view) {
+        { app.gather(cw, view) } -> std::same_as<unsigned>;
+    };
+
+/** Compile-time dispatch helper. */
+template <typename A>
+inline constexpr bool kHasGatherHint = GatherHintApp<A>;
+
+/**
+ * Draw-hint extension (DESIGN.md §12): the strongest gather form.  The
+ * step kernel constructs each event's RNG at resolve time and hands the
+ * app a *copy*, so the app can dry-run the draw on the copy and
+ * prefetch the precise line sample() will read — e.g. the one target
+ * slot a uniform draw lands on — instead of guessing with head lines.
+ * Head-line guesses miss exactly where misses concentrate: steps land
+ * on high-degree vertices in proportion to degree, and there the drawn
+ * slot is almost never in the first lines.
+ *
+ * Same purity contract as GatherHintApp — the probe is taken by value,
+ * no walker or app state may change, and skipping the hint cannot
+ * change walk output.  Preferred over the two-argument form when both
+ * are present.
+ */
+template <typename A>
+concept DrawHintApp =
+    RandomWalkApp<A> &&
+    requires(const A app, const typename A::WalkerT &cw,
+             const graph::VertexView &view, util::Rng probe) {
+        { app.gather(cw, view, probe) } -> std::same_as<unsigned>;
+    };
+
+/** Compile-time dispatch helper. */
+template <typename A>
+inline constexpr bool kHasDrawHint = DrawHintApp<A>;
+
+/**
  * The vertex a walker is waiting on: the pending candidate for
  * second-order walkers, otherwise the current location.
  */

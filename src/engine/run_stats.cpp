@@ -58,6 +58,9 @@ RunStats::operator+=(const RunStats &other)
     prefetch_mispredicts += other.prefetch_mispredicts;
     migrations += other.migrations;
     migration_batches += other.migration_batches;
+    kernel_cohorts += other.kernel_cohorts;
+    kernel_prefetches += other.kernel_prefetches;
+    kernel_scalar_fallbacks += other.kernel_scalar_fallbacks;
     presample_steps += other.presample_steps;
     block_steps += other.block_steps;
     stalls += other.stalls;
@@ -99,6 +102,9 @@ RunStats::scaled(double fraction) const
     out.prefetch_mispredicts = part(prefetch_mispredicts);
     out.migrations = part(migrations);
     out.migration_batches = part(migration_batches);
+    out.kernel_cohorts = part(kernel_cohorts);
+    out.kernel_prefetches = part(kernel_prefetches);
+    out.kernel_scalar_fallbacks = part(kernel_scalar_fallbacks);
     out.presample_steps = part(presample_steps);
     out.block_steps = part(block_steps);
     out.stalls = part(stalls);
@@ -131,6 +137,9 @@ RunStats::to_string() const
         << "  migrations=" << migrations
         << " migration_batches=" << migration_batches
         << " migration_wait_s=" << migration_wait_seconds << "\n"
+        << "  kernel_cohorts=" << kernel_cohorts
+        << " kernel_prefetches=" << kernel_prefetches
+        << " kernel_scalar_fallbacks=" << kernel_scalar_fallbacks << "\n"
         << "  cpu_s=" << cpu_seconds << " io_busy_s=" << io_busy_seconds
         << " io_wait_s=" << io_wait_seconds
         << " eff=" << io_efficiency << " modeled_s=" << modeled_seconds()

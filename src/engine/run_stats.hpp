@@ -52,6 +52,15 @@ struct RunStats {
     /** Non-empty (src,dst) walker batches exchanged at round barriers. */
     std::uint64_t migration_batches = 0;
 
+    /** Interleaved-kernel rotations executed: one gather+sample pass
+     *  over a cohort ring (DESIGN.md §12). */
+    std::uint64_t kernel_cohorts = 0;
+    /** Software prefetch hints issued by the kernel's gather stage. */
+    std::uint64_t kernel_prefetches = 0;
+    /** Walker batches stepped by the legacy scalar loop instead of the
+     *  cohort kernel (kernel off, or the batch was too small). */
+    std::uint64_t kernel_scalar_fallbacks = 0;
+
     /** Steps served by reserved pre-samples (§3.3.5 counts separately). */
     std::uint64_t presample_steps = 0;
     /** Steps served directly from the currently loaded block. */

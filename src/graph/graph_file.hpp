@@ -27,6 +27,7 @@
 #include "graph/types.hpp"
 #include "storage/io_device.hpp"
 #include "util/alias_table.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace noswalker::graph {
@@ -67,6 +68,66 @@ struct VertexView {
 
     /** Whether @p v is an out-neighbour (binary search; lists sorted). */
     bool has_target(VertexId v) const;
+
+    /**
+     * Hint the leading cache lines of every populated span (targets,
+     * weights, alias rows) for an upcoming sample — the step kernel's
+     * generic gather stage (DESIGN.md §12).  Decoding a view touches
+     * only the in-memory CSR index, so issuing these hints is cheap
+     * even when the record itself is cold.
+     * @return the number of hints issued (kernel telemetry).
+     */
+    unsigned
+    gather_prefetch(unsigned max_lines = 2) const
+    {
+        unsigned n = util::prefetch_range(targets.data(),
+                                          targets.size_bytes(), max_lines);
+        n += util::prefetch_range(weights.data(), weights.size_bytes(),
+                                  max_lines);
+        n += util::prefetch_range(prob.data(), prob.size_bytes(),
+                                  max_lines);
+        n += util::prefetch_range(alias.data(), alias.size_bytes(),
+                                  max_lines);
+        return n;
+    }
+
+    /**
+     * Dry-run a uniform draw on @p probe — a copy of the exact RNG
+     * sample_uniform will consume — and hint the one target slot the
+     * draw lands on.  The copy replays the same next_index(), so the
+     * prediction is exact at any degree (DESIGN.md §12).
+     * @return the number of hints issued.  @pre degree() > 0.
+     */
+    unsigned
+    prefetch_uniform_draw(util::Rng probe) const
+    {
+        util::prefetch_line(&targets[probe.next_index(targets.size())]);
+        return 1;
+    }
+
+    /**
+     * Dry-run a weighted draw on @p probe.  With an alias table the
+     * drawn slot is exact: hint its prob/alias row and the kept-slot
+     * target (the aliased target depends on alias[slot]'s value, which
+     * this hint is itself fetching).  Without one the prefix scan
+     * streams the whole weight span, so fall back to head lines.
+     * @pre degree() > 0.
+     */
+    unsigned
+    prefetch_weighted_draw(util::Rng probe, unsigned max_lines = 2) const
+    {
+        if (!prob.empty()) {
+            const std::size_t slot = probe.next_index(targets.size());
+            util::prefetch_line(&prob[slot]);
+            util::prefetch_line(&alias[slot]);
+            util::prefetch_line(&targets[slot]);
+            return 3;
+        }
+        return util::prefetch_range(weights.data(), weights.size_bytes(),
+                                    max_lines) +
+               util::prefetch_range(targets.data(), targets.size_bytes(),
+                                    max_lines);
+    }
 };
 
 /**

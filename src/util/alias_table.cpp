@@ -3,8 +3,38 @@
 #include <cstddef>
 
 #include "util/error.hpp"
+#include "util/prefetch.hpp"
 
 namespace noswalker::util {
+
+void
+AliasTable::sample_batch(Rng &rng, std::uint32_t *out, std::size_t n) const
+{
+    NOSWALKER_CHECK(!prob_.empty());
+    // Chunked so the scratch stays register/L1 resident however large
+    // the batch is.
+    constexpr std::size_t kChunk = 64;
+    std::uint32_t slot[kChunk];
+    double coin[kChunk];
+    for (std::size_t done = 0; done < n; done += kChunk) {
+        const std::size_t m = n - done < kChunk ? n - done : kChunk;
+        // Pass 1: consume the generator exactly as sequential sample()
+        // calls would — (slot, coin) per draw — and start the row
+        // loads early.
+        for (std::size_t i = 0; i < m; ++i) {
+            slot[i] =
+                static_cast<std::uint32_t>(rng.next_index(prob_.size()));
+            coin[i] = rng.next_double();
+            prefetch_line(&prob_[slot[i]]);
+            prefetch_line(&alias_[slot[i]]);
+        }
+        // Pass 2: branch-light resolution against in-flight lines.
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::uint32_t s = slot[i];
+            out[done + i] = coin[i] < prob_[s] ? s : alias_[s];
+        }
+    }
+}
 
 void
 AliasTable::build(std::span<const double> weights)

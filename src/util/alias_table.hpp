@@ -52,6 +52,19 @@ class AliasTable {
         return rng.next_double() < prob_[slot] ? slot : alias_[slot];
     }
 
+    /**
+     * Draw @p n outcomes into @p out, draw-for-draw identical to @p n
+     * sequential sample() calls on the same generator (the step
+     * kernel's bit-identity contract rides on this equivalence).
+     *
+     * The draws are split into two branch-light passes: pass one
+     * consumes the RNG in sample()'s exact (slot, coin) order and
+     * prefetches each chosen probability row; pass two resolves the
+     * alias comparisons against lines that are already in flight.
+     * @pre !empty().
+     */
+    void sample_batch(Rng &rng, std::uint32_t *out, std::size_t n) const;
+
     /** Bytes of heap memory held by this table. */
     std::size_t
     memory_bytes() const

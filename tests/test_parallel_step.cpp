@@ -5,18 +5,16 @@
  * is a pure function of (run seed, walker id) and pre-sample drying is
  * published at round granularity.
  *
- * The recording apps here are thread safe the way service apps are:
- * each walker owns a private endpoint slot, and visit counters are
- * atomic.
+ * The recording apps (tests/recording_app.hpp) are thread safe the way
+ * service apps are: each walker owns a private endpoint slot, and
+ * visit counters are atomic.
  */
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "apps/node2vec.hpp"
 #include "core/noswalker_engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_file.hpp"
@@ -28,117 +26,8 @@
 namespace noswalker {
 namespace {
 
-/** First-order uniform walk recording endpoints + visit counts. */
-class ConcurrentRecordingWalk {
-  public:
-    using WalkerT = engine::Walker;
-
-    ConcurrentRecordingWalk(std::uint32_t length,
-                            graph::VertexId num_vertices,
-                            std::uint64_t num_walkers)
-        : endpoints(num_walkers, graph::kInvalidVertex),
-          visits(num_vertices), length_(length),
-          num_vertices_(num_vertices)
-    {
-    }
-
-    WalkerT
-    generate(std::uint64_t n)
-    {
-        util::SplitMix64 mix(n * 31 + 5);
-        return WalkerT{
-            n, static_cast<graph::VertexId>(mix.next() % num_vertices_),
-            0};
-    }
-
-    graph::VertexId
-    sample(const graph::VertexView &view, util::Rng &rng)
-    {
-        return view.sample_uniform(rng);
-    }
-
-    bool active(const WalkerT &w) const { return w.step < length_; }
-
-    bool
-    action(WalkerT &w, graph::VertexId next, util::Rng &)
-    {
-        w.location = next;
-        ++w.step;
-        endpoints[w.id] = next;
-        visits[next].fetch_add(1, std::memory_order_relaxed);
-        return true;
-    }
-
-    std::vector<graph::VertexId> endpoints;
-    std::vector<std::atomic<std::uint32_t>> visits;
-
-  private:
-    std::uint32_t length_;
-    graph::VertexId num_vertices_;
-};
-
-static_assert(engine::RandomWalkApp<ConcurrentRecordingWalk>);
-
-/** Node2Vec wrapper recording the endpoint of every accepted move. */
-class RecordingNode2Vec {
-  public:
-    using WalkerT = apps::Node2Vec::WalkerT;
-
-    RecordingNode2Vec(double p, double q, std::uint32_t length,
-                      graph::VertexId num_vertices,
-                      std::uint32_t walks_per_vertex)
-        : inner_(p, q, length, num_vertices, walks_per_vertex)
-    {
-        // inner_ is declared after the public vectors; size them here,
-        // once every member is constructed.
-        endpoints.assign(inner_.total_walkers(), graph::kInvalidVertex);
-    }
-
-    std::uint64_t total_walkers() const { return inner_.total_walkers(); }
-
-    WalkerT generate(std::uint64_t n) { return inner_.generate(n); }
-
-    graph::VertexId
-    sample(const graph::VertexView &view, util::Rng &rng)
-    {
-        return inner_.sample(view, rng);
-    }
-
-    bool active(const WalkerT &w) const { return inner_.active(w); }
-
-    bool
-    action(WalkerT &w, graph::VertexId next, util::Rng &rng)
-    {
-        return inner_.action(w, next, rng);
-    }
-
-    bool has_candidate(const WalkerT &w) const
-    {
-        return inner_.has_candidate(w);
-    }
-
-    graph::VertexId candidate(const WalkerT &w) const
-    {
-        return inner_.candidate(w);
-    }
-
-    bool
-    rejection(WalkerT &w, const graph::VertexView &view, util::Rng &rng)
-    {
-        const bool accepted = inner_.rejection(w, view, rng);
-        if (accepted) {
-            endpoints[w.id] = w.location;
-        }
-        return accepted;
-    }
-
-    std::vector<graph::VertexId> endpoints;
-
-  private:
-    apps::Node2Vec inner_;
-};
-
-static_assert(engine::SecondOrderApp<RecordingNode2Vec>);
+using testing_support::ConcurrentRecordingWalk;
+using testing_support::RecordingNode2Vec;
 
 class ParallelStepTest : public testing::Test {
   protected:

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The tentpole guarantee of the interleaved cohort step kernel
+ * (DESIGN.md §12): walk output is bit-identical to the legacy scalar
+ * loop at every cohort size × step-thread count × shard count, for
+ * first-order, walk-length-budgeted PPR, and second-order Node2Vec
+ * workloads.  Cohorting only changes *when* each walker's cache lines
+ * are requested, never which step it takes.
+ *
+ * Also covered: AliasTable::sample_batch draw-for-draw equivalence
+ * with sequential sample() (the kernel's batched-draw building block),
+ * and the kernel telemetry counters' aggregation round-trip.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/noswalker_engine.hpp"
+#include "engine/run_stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "recording_app.hpp"
+#include "shard/sharded_engine.hpp"
+#include "storage/mem_device.hpp"
+#include "util/alias_table.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker {
+namespace {
+
+using testing_support::ConcurrentRecordingWalk;
+using testing_support::RecordingNode2Vec;
+using testing_support::RecordingPpr;
+
+TEST(AliasTableBatch, SampleBatchMatchesSequentialDrawForDraw)
+{
+    for (const std::size_t outcomes : {1UL, 3UL, 17UL, 1000UL}) {
+        std::vector<double> weights(outcomes);
+        util::Rng wrng(911 + outcomes);
+        for (double &w : weights) {
+            w = wrng.next_double() * 10.0;
+        }
+        weights[0] += 1.0; // at least one strictly positive weight
+        const util::AliasTable table(weights);
+
+        for (const std::size_t n : {1UL, 5UL, 64UL, 257UL}) {
+            const std::uint64_t seed = 1234 + outcomes * 1000 + n;
+            util::Rng seq(seed);
+            std::vector<std::uint32_t> expected(n);
+            for (std::uint32_t &draw : expected) {
+                draw = table.sample(seq);
+            }
+
+            util::Rng batch(seed);
+            std::vector<std::uint32_t> got(n);
+            table.sample_batch(batch, got.data(), n);
+            EXPECT_EQ(got, expected)
+                << outcomes << " outcomes, batch of " << n;
+            // The generators must also agree *after* the draws, so a
+            // caller can keep using the stream either way.
+            EXPECT_EQ(batch(), seq());
+        }
+    }
+}
+
+TEST(RunStatsKernel, CountersAggregateAndScale)
+{
+    engine::RunStats a;
+    a.kernel_cohorts = 10;
+    a.kernel_prefetches = 1000;
+    a.kernel_scalar_fallbacks = 4;
+    engine::RunStats b;
+    b.kernel_cohorts = 6;
+    b.kernel_prefetches = 200;
+    b.kernel_scalar_fallbacks = 1;
+
+    a += b;
+    EXPECT_EQ(a.kernel_cohorts, 16u);
+    EXPECT_EQ(a.kernel_prefetches, 1200u);
+    EXPECT_EQ(a.kernel_scalar_fallbacks, 5u);
+
+    const engine::RunStats half = a.scaled(0.5);
+    EXPECT_EQ(half.kernel_cohorts, 8u);
+    EXPECT_EQ(half.kernel_prefetches, 600u);
+    EXPECT_EQ(half.kernel_scalar_fallbacks, 3u); // rounds half-up
+
+    const std::string dump = a.to_string();
+    EXPECT_NE(dump.find("kernel_cohorts=16"), std::string::npos);
+    EXPECT_NE(dump.find("kernel_prefetches=1200"), std::string::npos);
+    EXPECT_NE(dump.find("kernel_scalar_fallbacks=5"), std::string::npos);
+}
+
+class StepKernelTest : public testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        graph_ = graph::generate_rmat(
+            {.scale = 9, .edge_factor = 8, .a = 0.57, .b = 0.19,
+             .c = 0.19, .seed = 23, .symmetrize = true,
+             .weighted = false});
+        graph::GraphFile::write(graph_, device_);
+        file_ = std::make_unique<graph::GraphFile>(device_);
+        partition_ = std::make_unique<graph::BlockPartition>(
+            *file_, file_->edge_region_bytes() / 8);
+    }
+
+    core::EngineConfig
+    config(unsigned cohort, unsigned threads, bool presample) const
+    {
+        core::EngineConfig cfg = core::EngineConfig::full(
+            testing_support::tight_budget(*file_, *partition_),
+            partition_->max_block_bytes());
+        cfg.step_cohort = cohort;
+        cfg.step_threads = threads;
+        cfg.presample = presample;
+        return cfg;
+    }
+
+    graph::CsrGraph graph_;
+    storage::MemDevice device_;
+    std::unique_ptr<graph::GraphFile> file_;
+    std::unique_ptr<graph::BlockPartition> partition_;
+};
+
+TEST_F(StepKernelTest, BasicWalkBitIdenticalAcrossCohortSizes)
+{
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 24;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::vector<std::uint32_t>> visits;
+    std::vector<std::uint64_t> steps;
+    for (const unsigned cohort : {0u, 4u, 16u}) {
+        for (const unsigned threads : {1u, 8u}) {
+            ConcurrentRecordingWalk app(kLength, file_->num_vertices(),
+                                        kWalkers);
+            core::NosWalkerEngine<ConcurrentRecordingWalk> eng(
+                *file_, *partition_,
+                config(cohort, threads, /*presample=*/true));
+            const auto stats = eng.run(app, kWalkers);
+            endpoints.push_back(app.endpoints);
+            std::vector<std::uint32_t> v(app.visits.size());
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                v[i] = app.visits[i].load();
+            }
+            visits.push_back(std::move(v));
+            steps.push_back(stats.steps);
+            if (cohort == 0) {
+                EXPECT_EQ(stats.kernel_cohorts, 0u);
+                EXPECT_GT(stats.kernel_scalar_fallbacks, 0u);
+            } else {
+                EXPECT_GT(stats.kernel_cohorts, 0u);
+                EXPECT_GT(stats.kernel_prefetches, 0u);
+            }
+        }
+    }
+    EXPECT_GT(steps[0], 0u);
+    EXPECT_LE(steps[0], kWalkers * kLength);
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+        EXPECT_EQ(visits[t], visits[0]) << "config " << t;
+    }
+}
+
+TEST_F(StepKernelTest, PprBitIdenticalAcrossCohortSizes)
+{
+    // A few query sources spread across the id range, so the walkers
+    // hop blocks and exercise park/stall paths under the kernel.
+    const graph::VertexId n = file_->num_vertices();
+    const std::vector<graph::VertexId> sources{
+        0, n / 3, n / 2, n - 1};
+    constexpr std::uint64_t kWalksPerSource = 120;
+    constexpr std::uint32_t kLength = 12;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::vector<std::uint32_t>> visits;
+    std::vector<std::uint64_t> steps;
+    for (const unsigned cohort : {0u, 4u, 16u}) {
+        for (const unsigned threads : {1u, 8u}) {
+            RecordingPpr app(sources, kWalksPerSource, kLength, n);
+            core::NosWalkerEngine<RecordingPpr> eng(
+                *file_, *partition_,
+                config(cohort, threads, /*presample=*/true));
+            const auto stats = eng.run(app, app.total_walkers());
+            endpoints.push_back(app.endpoints);
+            std::vector<std::uint32_t> v(app.visits.size());
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                v[i] = app.visits[i].load();
+            }
+            visits.push_back(std::move(v));
+            steps.push_back(stats.steps);
+        }
+    }
+    EXPECT_GT(steps[0], 0u);
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+        EXPECT_EQ(visits[t], visits[0]) << "config " << t;
+    }
+}
+
+TEST_F(StepKernelTest, Node2VecBitIdenticalAcrossCohortSizes)
+{
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::uint64_t> steps;
+    std::vector<std::uint64_t> trials;
+    for (const unsigned cohort : {0u, 4u, 16u}) {
+        for (const unsigned threads : {1u, 8u}) {
+            RecordingNode2Vec app(2.0, 0.5, 12, file_->num_vertices(),
+                                  2);
+            core::NosWalkerEngine<RecordingNode2Vec> eng(
+                *file_, *partition_,
+                config(cohort, threads, /*presample=*/true));
+            const auto stats = eng.run(app, app.total_walkers());
+            endpoints.push_back(app.endpoints);
+            steps.push_back(stats.steps);
+            trials.push_back(stats.rejection_trials);
+        }
+    }
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(trials[t], trials[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+    }
+}
+
+TEST_F(StepKernelTest, ShardedRunsBitIdenticalAcrossCohortSizes)
+{
+    // Shard rounds run with pre-sampling off (DESIGN.md §11), so the
+    // baseline is a presample-off scalar single-shard run.
+    constexpr std::uint64_t kWalkers = 400;
+    constexpr std::uint32_t kLength = 16;
+
+    ConcurrentRecordingWalk base_app(kLength, file_->num_vertices(),
+                                     kWalkers);
+    core::NosWalkerEngine<ConcurrentRecordingWalk> base(
+        *file_, *partition_, config(0, 1, /*presample=*/false));
+    base.run(base_app, kWalkers);
+
+    for (const unsigned shards : {1u, 2u}) {
+        for (const unsigned cohort : {0u, 4u, 16u}) {
+            for (const unsigned threads : {1u, 8u}) {
+                ConcurrentRecordingWalk app(
+                    kLength, file_->num_vertices(), kWalkers);
+                core::EngineConfig cfg =
+                    config(cohort, threads, /*presample=*/false);
+                cfg.num_shards = shards;
+                shard::ShardedEngine<ConcurrentRecordingWalk> eng(
+                    *file_, *partition_, cfg);
+                eng.run(app, kWalkers);
+                EXPECT_EQ(app.endpoints, base_app.endpoints)
+                    << shards << " shards, cohort " << cohort << ", "
+                    << threads << " threads";
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace noswalker
+

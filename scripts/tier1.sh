@@ -13,10 +13,10 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel) =="
+echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel, load planner) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|StepKernel' --output-on-failure
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|StepKernel|LoadPlanner|PlanWindow' --output-on-failure
 
 echo
 echo "== tier 1: prefetch smoke (reorder-window + depth ablations) =="
@@ -31,6 +31,10 @@ ctest --test-dir build -R 'Sharded|Migration|ShardPlan' --output-on-failure -j "
 echo
 echo "== tier 1: cohort smoke (scalar vs cohort bit-identity + batch draws) =="
 ctest --test-dir build -R 'StepKernel|AliasTableBatch' --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: plan-window smoke (greedy passthrough + bit-identity across windows) =="
+ctest --test-dir build -R 'LoadPlanner|PlanWindow' --output-on-failure -j "$JOBS"
 
 echo
 echo "tier 1 passed"

@@ -41,7 +41,12 @@ class BlockScheduler {
     /** A walker left @p block (moved on or retired). */
     void remove_walker(std::uint32_t block);
 
-    /** Remove @p n walkers from @p block at once. */
+    /**
+     * Remove @p n walkers from @p block at once.  Removing more than
+     * are waiting asserts in debug builds and clamps to zero in
+     * release builds — an underflow wrap would make the bucket the
+     * hottest block forever.
+     */
     void remove_walkers(std::uint32_t block, std::uint64_t n);
 
     /** Waiting walkers in @p block. */
@@ -50,7 +55,16 @@ class BlockScheduler {
         return counts_[block];
     }
 
-    /** Block with the most waiting walkers, or kNoBlock. */
+    /**
+     * Block with the most waiting walkers, or kNoBlock.
+     *
+     * Tie-break contract: equal counts resolve toward the LOWEST block
+     * id.  This is a stated invariant, not an implementation accident —
+     * the processed-block schedule, the prefetch nomination, and the
+     * LoadPlanner's scoring (DESIGN.md §13) all rely on it for
+     * bit-identical walk output across plan windows, thread counts,
+     * and shard counts.
+     */
     std::uint32_t hottest() const;
 
     /**
@@ -62,9 +76,12 @@ class BlockScheduler {
 
     /**
      * The up to @p k hottest blocks with waiting walkers, hottest
-     * first (ties broken towards the lower id, matching hottest()),
-     * excluding every id in @p skip.  The depth-K prefetch pipeline
-     * uses this to nominate the next speculative loads.
+     * first, excluding every id in @p skip.  The depth-K prefetch
+     * pipeline uses this to nominate the next speculative loads, and
+     * the LoadPlanner builds its candidate pool from it.
+     *
+     * Same tie-break contract as hottest(): equal counts resolve
+     * toward the lowest block id, at every rank of the result.
      */
     std::vector<std::uint32_t>
     top_k_excluding(std::size_t k,

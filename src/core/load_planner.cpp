@@ -1,0 +1,249 @@
+#include "core/load_planner.hpp"
+
+#include <algorithm>
+
+namespace noswalker::core {
+
+LoadPlanner::LoadPlanner(const graph::BlockPartition &partition,
+                         Options options)
+    : partition_(&partition), options_(options),
+      flow_(partition.num_blocks()), flow_total_(partition.num_blocks(), 0)
+{
+    set_tenant_weight(options.tenant_weight);
+}
+
+void
+LoadPlanner::set_tenant_weight(double weight)
+{
+    options_.tenant_weight =
+        weight > 0.0 && weight <= 1.0 ? weight : 1.0;
+}
+
+void
+LoadPlanner::record_flow(std::uint32_t src, std::uint32_t dst,
+                         std::uint64_t n)
+{
+    if (src == BlockScheduler::kNoBlock || n == 0) {
+        return;
+    }
+    auto &edges = flow_[src];
+    const auto it = std::find_if(
+        edges.begin(), edges.end(),
+        [dst](const auto &e) { return e.first == dst; });
+    if (it != edges.end()) {
+        it->second += n;
+    } else {
+        edges.emplace_back(dst, n);
+    }
+    flow_total_[src] += n;
+}
+
+void
+LoadPlanner::record_exits(std::uint32_t src, std::uint64_t n)
+{
+    if (src == BlockScheduler::kNoBlock || n == 0) {
+        return;
+    }
+    flow_total_[src] += n;
+}
+
+const std::vector<std::uint32_t> &
+LoadPlanner::plan(const BlockScheduler &scheduler,
+                  const storage::SharedBlockCache *cache,
+                  std::span<const std::uint32_t> exclude,
+                  std::size_t max_loads)
+{
+    if (options_.window == 0 || max_loads == 0) {
+        // Greedy passthrough: exactly the depth-K nomination the
+        // engine used before the planner existed.
+        picks_ = scheduler.top_k_excluding(max_loads, exclude);
+        return picks_;
+    }
+
+    // Fairness: a low-weight tenant commits fewer speculative slots,
+    // so its mispredicted bytes cannot crowd another tenant's demand
+    // loads off the shared device.  Scaling the *scores* instead would
+    // be a no-op (a uniform factor never changes an argmax).
+    const std::size_t commit = std::min(
+        max_loads,
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(options_.tenant_weight *
+                                        static_cast<double>(max_loads))));
+
+    // Candidate pool: the greedy top-K plus `window` slack entries.
+    // top_k_excluding orders by heat with the documented lowest-id
+    // tie-break, so the pool itself is deterministic.
+    candidates_ =
+        scheduler.top_k_excluding(max_loads + options_.window, exclude);
+    picks_.clear();
+    const std::size_t num_live = candidates_.size();
+
+    // Extend the pool with flow successors: blocks holding no parked
+    // walkers *yet* that the measured flow says the upcoming drains
+    // will heat.  The greedy nomination can never see these — top-K
+    // only ranks live buckets — yet they are exactly the loads that
+    // hide device latency when a concentrated walk marches into fresh
+    // blocks.  The walk is seeded from the already-committed loads
+    // (the exclude list: their drains are the heat the pipeline will
+    // see by the time new picks are consumed) and then traverses the
+    // pool itself, so a chain b+1 → b+2 → b+3 unrolls to the window
+    // depth.  Successors enter at zero expected heat and are committed
+    // only if the drain seeding below lifts them over a live
+    // candidate.
+    const auto pooled = [this](std::uint32_t id) {
+        return std::find(candidates_.begin(), candidates_.end(), id) !=
+               candidates_.end();
+    };
+    const auto append_successors = [&](std::uint32_t src,
+                                       std::size_t &extras) {
+        successors_ = flow_[src];
+        // Heaviest edge first; equal weights resolve to the lower
+        // destination id to keep the pool deterministic.
+        std::sort(successors_.begin(), successors_.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second
+                                 ? a.second > b.second
+                                 : a.first < b.first;
+                  });
+        const double total = static_cast<double>(flow_total_[src]);
+        for (const auto &[dst, n] : successors_) {
+            if (extras >= options_.window) {
+                break;
+            }
+            // A diffuse source spreads its leavers thin: no single
+            // destination is likely enough to bet a device read on.
+            if (static_cast<double>(n) <
+                kMinSuccessorProbability * total) {
+                break;
+            }
+            if (pooled(dst) ||
+                std::find(exclude.begin(), exclude.end(), dst) !=
+                    exclude.end()) {
+                continue;
+            }
+            candidates_.push_back(dst);
+            ++extras;
+        }
+    };
+    std::size_t extras = 0;
+    for (const std::uint32_t covered : exclude) {
+        if (extras >= options_.window) {
+            break;
+        }
+        if (covered < flow_.size()) {
+            append_successors(covered, extras);
+        }
+    }
+    for (std::size_t i = 0;
+         i < candidates_.size() && extras < options_.window; ++i) {
+        append_successors(candidates_[i], extras);
+    }
+    if (candidates_.empty()) {
+        return picks_;
+    }
+
+    expected_.resize(candidates_.size());
+    resident_.assign(candidates_.size(), false);
+    taken_.assign(candidates_.size(), false);
+    live_.assign(candidates_.size(), false);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        expected_[i] =
+            static_cast<double>(scheduler.count(candidates_[i]));
+        resident_[i] =
+            cache != nullptr && cache->resident(candidates_[i]);
+        live_[i] = i < num_live;
+    }
+
+    // Drain the already-committed loads into the pool: by the time a
+    // new pick is consumed, every covered load before it has drained
+    // its bucket one step along the measured flow (the "expected heat
+    // after planned loads drain" term).
+    for (const std::uint32_t covered : exclude) {
+        if (covered >= flow_.size() || flow_total_[covered] == 0) {
+            continue;
+        }
+        const double outflow =
+            static_cast<double>(scheduler.count(covered));
+        if (outflow <= 0.0) {
+            continue;
+        }
+        ++stats_.plan_rescores;
+        const double total = static_cast<double>(flow_total_[covered]);
+        for (const auto &[dst, n] : flow_[covered]) {
+            for (std::size_t i = 0; i < candidates_.size(); ++i) {
+                if (candidates_[i] == dst) {
+                    expected_[i] +=
+                        outflow * static_cast<double>(n) / total;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Commit in expected-demand order.  Blocks are cut to one byte
+    // budget, so across non-resident candidates steps-per-byte order
+    // is expected-heat order — which is also the scheduler's demand
+    // order, keeping the speculation queue aligned with the near-FIFO
+    // consumption window.  A resident pick's cost collapses by
+    // kCachedCostFraction: its load completes at submission with no
+    // device traffic, and the plan banks a cache credit recording how
+    // much of the window the cache subsidized.
+    while (picks_.size() < commit) {
+        // Two tiers: every live bucket commits before any zero-heat
+        // successor — a successor never displaces a load the scheduler
+        // is certain to demand, so the plan's coverage is a superset
+        // of greedy's for the same slot count.
+        std::size_t best = candidates_.size();
+        for (const bool want_live : {true, false}) {
+            for (std::size_t i = 0; i < candidates_.size(); ++i) {
+                if (taken_[i] || live_[i] != want_live ||
+                    expected_[i] <= 0.0) {
+                    continue;
+                }
+                // Strict > plus the explicit id comparison resolves
+                // equal expected heat toward the lower block id — the
+                // same contract the scheduler's demand order documents.
+                if (best == candidates_.size() ||
+                    expected_[i] > expected_[best] ||
+                    (expected_[i] == expected_[best] &&
+                     candidates_[i] < candidates_[best])) {
+                    best = i;
+                }
+            }
+            if (best != candidates_.size()) {
+                break;
+            }
+        }
+        if (best == candidates_.size()) {
+            break;
+        }
+        taken_[best] = true;
+        const std::uint32_t picked = candidates_[best];
+        if (resident_[best]) {
+            ++stats_.plan_cache_credits;
+        }
+        picks_.push_back(picked);
+
+        // Model the pick draining its bucket: walkers redistribute one
+        // step along the measured flow, heating the blocks they will
+        // park in by the time this load is consumed.
+        if (flow_total_[picked] > 0) {
+            ++stats_.plan_rescores;
+            const double outflow = expected_[best];
+            const double total =
+                static_cast<double>(flow_total_[picked]);
+            for (const auto &[dst, n] : flow_[picked]) {
+                for (std::size_t i = 0; i < candidates_.size(); ++i) {
+                    if (!taken_[i] && candidates_[i] == dst) {
+                        expected_[i] +=
+                            outflow * static_cast<double>(n) / total;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return picks_;
+}
+
+} // namespace noswalker::core

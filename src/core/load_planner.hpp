@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lookahead window block-load planner (DESIGN.md §13).
+ *
+ * The greedy hottest-bucket policy nominates the next speculative
+ * loads from the scheduler's *current* top-K — but by the time the
+ * last of K lookahead loads is consumed, the earlier ones have drained
+ * their buckets and reshaped the heat landscape.  GraSorw's trapezoid
+ * study (PAPERS.md) shows that for out-of-core walks the *order* of
+ * block loads, not just the next pick, dominates I/O volume.  The
+ * LoadPlanner therefore scores the next W candidate loads
+ * (W = EngineConfig::plan_window) by expected walker-steps-per-byte:
+ *
+ *   score(b) = expected_heat(b) / cost_bytes(b)
+ *
+ * expected_heat starts at the scheduler's live bucket count and, after
+ * each committed pick, is propagated one step along the measured
+ * block-to-block walker flow (maintained incrementally as walkers
+ * park), so later picks are ranked by the heat they will have when
+ * their load is consumed, not the heat they have now.  The candidate
+ * pool is the scheduler's top (K + W) live buckets *plus their flow
+ * successors* — blocks holding no parked walkers yet that the flow
+ * table predicts the upcoming drains will heat.  Greedy nomination
+ * can never see those (top-K only ranks live buckets); they are
+ * exactly the loads that hide device latency when a concentrated walk
+ * marches into fresh blocks.  Successors are admitted only when the
+ * chain edge carries at least kMinSuccessorProbability of the source's
+ * observed leavers, and are committed only into slots left over after
+ * every live candidate — the plan's coverage is a superset of
+ * greedy's, never a gamble against it.  cost_bytes is the device read
+ * the load will issue.  The partitioner cuts blocks to one fixed byte budget,
+ * so across non-resident candidates the denominator is uniform and
+ * score order equals expected-heat order — which is also the
+ * scheduler's demand order, keeping the speculation queue consistent
+ * with the near-FIFO consumption window (§11).  A SharedBlockCache-
+ * resident pick's cost collapses to the modeled cached-read fraction
+ * (its load completes at submission with no device traffic); the plan
+ * banks a *cache credit* for it, recording how much of the window the
+ * cache subsidized.  Per-tenant fairness weights gate how many of the
+ * available speculative slots a plan may commit, so one tenant's
+ * mispredicted bytes cannot monopolize the shared device.
+ *
+ * Determinism: plan() is a pure function of (scheduler counts, flow
+ * table, cache residency, exclusions) with ties broken toward the
+ * lowest block id — the same contract BlockScheduler::hottest()
+ * documents.  The planner only chooses *speculative* loads; the block
+ * the engine processes is always the scheduler's hottest, so walk
+ * output is bit-identical at every plan window (§10's argument,
+ * unchanged).  window = 0 returns the scheduler's top-K verbatim: the
+ * greedy path, byte for byte.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/block_scheduler.hpp"
+#include "graph/partition.hpp"
+#include "storage/shared_block_cache.hpp"
+
+namespace noswalker::core {
+
+/** Windowed lookahead scheduler for speculative block loads. */
+class LoadPlanner {
+  public:
+    /** Modeled cost of consuming a cache-resident block, as a fraction
+     *  of re-reading its bytes from the device (one memcpy vs a
+     *  multi-millisecond SSD read).  Small enough that a resident
+     *  candidate always outscores a non-resident one, i.e. it never
+     *  needs one of the scarce speculative slots. */
+    static constexpr double kCachedCostFraction = 0.125;
+
+    /** Minimum chain-edge probability (flow n / total leavers) for a
+     *  zero-heat flow successor to enter the candidate pool.  A
+     *  concentrated walk marching through consecutive blocks carries
+     *  p ≈ 1 on its chain edge; a diffuse walk spreads p below this
+     *  across many destinations, where speculating on cold blocks only
+     *  wastes device reads (the walkers retire or scatter before the
+     *  load is demanded). */
+    static constexpr double kMinSuccessorProbability = 0.5;
+
+    struct Options {
+        /** Lookahead window W (0 = greedy top-K passthrough). */
+        std::size_t window = 4;
+        /** Fairness weight in (0, 1]: fraction of the available
+         *  speculative slots a plan may commit (≥ 1 slot). */
+        double tenant_weight = 1.0;
+    };
+
+    /** Planner counters (folded into RunStats). */
+    struct Stats {
+        /** One-step flow propagations applied while planning. */
+        std::uint64_t plan_rescores = 0;
+        /** Committed picks whose load the SharedBlockCache will serve
+         *  with no device traffic (cost discounted to the cached
+         *  fraction). */
+        std::uint64_t plan_cache_credits = 0;
+    };
+
+    LoadPlanner(const graph::BlockPartition &partition, Options options);
+
+    /** Replace the fairness weight (values outside (0,1] are clamped). */
+    void set_tenant_weight(double weight);
+
+    std::size_t window() const { return options_.window; }
+
+    /**
+     * Record that @p n walkers left block @p src and parked in @p dst
+     * (called as deltas merge, so the table is deterministic).  A
+     * src of BlockScheduler::kNoBlock — fresh injections with no
+     * source block — is ignored.
+     */
+    void record_flow(std::uint32_t src, std::uint32_t dst,
+                     std::uint64_t n = 1);
+
+    /**
+     * Record @p n walkers leaving @p src without parking anywhere
+     * (retired, or emigrated to another shard).  They dilute the
+     * transition estimate's denominator so flow fractions stay
+     * probabilities, not inflated redistributions.
+     */
+    void record_exits(std::uint32_t src, std::uint64_t n);
+
+    /**
+     * Plan the next up to @p max_loads speculative loads, best score
+     * first, excluding every id in @p exclude.
+     *
+     * window == 0 returns scheduler.top_k_excluding verbatim (the
+     * greedy path).  Otherwise candidates are the top
+     * (max_loads + window) hottest buckets plus up to `window` of
+     * their flow successors; candidates are committed one at a time by
+     * expected score, and each commit propagates the block's expected
+     * drain one step along the recorded flow before the next pick.
+     * Ties break toward the lowest block id.  Deterministic for fixed
+     * inputs.  The returned reference is valid until the next plan()
+     * call.
+     */
+    const std::vector<std::uint32_t> &
+    plan(const BlockScheduler &scheduler,
+         const storage::SharedBlockCache *cache,
+         std::span<const std::uint32_t> exclude, std::size_t max_loads);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    const graph::BlockPartition *partition_;
+    Options options_;
+
+    /** flow_[src] = (dst, walkers observed moving src → dst) pairs in
+     *  first-observation order.  Flat vectors, not maps: record_flow
+     *  runs once per parked walker on the merge path, so it must not
+     *  allocate per call; insertion order is deterministic because
+     *  deltas merge in worker-index order. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        flow_;
+    /** Total walkers observed leaving each source (incl. exits). */
+    std::vector<std::uint64_t> flow_total_;
+
+    /** plan() scratch, reused across calls to stay allocation-free on
+     *  the scheduler thread's hot loop. */
+    std::vector<std::uint32_t> picks_;
+    std::vector<std::uint32_t> candidates_;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> successors_;
+    std::vector<double> expected_;
+    std::vector<bool> resident_;
+    std::vector<bool> taken_;
+    std::vector<bool> live_;
+
+    Stats stats_;
+};
+
+} // namespace noswalker::core

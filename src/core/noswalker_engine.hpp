@@ -42,6 +42,7 @@
 
 #include "core/block_scheduler.hpp"
 #include "core/config.hpp"
+#include "core/load_planner.hpp"
 #include "core/prefetch_pipeline.hpp"
 #include "core/presample_buffer.hpp"
 #include "core/step_kernel.hpp"
@@ -128,6 +129,15 @@ class NosWalkerEngine {
      * to detach; ignored while step_threads == 1.
      */
     void set_step_pool(util::ThreadPool *pool) { external_pool_ = pool; }
+
+    /**
+     * Fairness weight of the next run's load plans (walk-service
+     * tenants; DESIGN.md §13).  Values in (0, 1] gate the fraction of
+     * speculative slots a plan may commit; anything else means full
+     * weight.  Never affects walk output — only which bytes are
+     * speculated early.
+     */
+    void set_plan_weight(double weight) { plan_weight_ = weight; }
 
     /** run() with a per-run seed (per-batch walker injection). */
     engine::RunStats
@@ -336,6 +346,8 @@ class NosWalkerEngine {
         local_io_bytes_ = 0;
         local_io_requests_ = 0;
         local_io_seconds_ = 0.0;
+        planner_.reset();
+        flow_src_ = BlockScheduler::kNoBlock;
     }
 
     /** Reserve the fixed memory regions and create the components. */
@@ -369,6 +381,16 @@ class NosWalkerEngine {
         scheduler_ = std::make_unique<BlockScheduler>(
             num_blocks, config_.alpha, file_->edge_region_bytes(),
             static_cast<std::uint32_t>(page));
+
+        if (config_.plan_window > 0) {
+            // plan_window == 0 must stay byte-for-byte greedy, so the
+            // planner (and its flow bookkeeping) only exists when the
+            // window is open (§13).
+            LoadPlanner::Options opts;
+            opts.window = config_.plan_window;
+            opts.tenant_weight = plan_weight_;
+            planner_ = std::make_unique<LoadPlanner>(*partition_, opts);
+        }
 
         if (config_.walker_management) {
             std::uint64_t cap = config_.max_walkers;
@@ -518,6 +540,24 @@ class NosWalkerEngine {
         }
         exclude_scratch_.clear();
         pipeline.collect_covered(exclude_scratch_);
+        if (planner_ != nullptr) {
+            // Windowed lookahead (§13): score prefetch_depth +
+            // plan_window candidates by expected steps-per-byte and
+            // commit the best sequence.  The processed block is still
+            // always the scheduler's hottest, so planning never
+            // changes walk output — only which bytes arrive early.
+            const std::vector<std::uint32_t> &picks = planner_->plan(
+                *scheduler_, shared_cache_, exclude_scratch_,
+                pipeline.depth());
+            for (const std::uint32_t next : picks) {
+                if (!pipeline.can_speculate()) {
+                    break;
+                }
+                pipeline.speculate(partition_->block(next));
+                ++stats_.planned_loads;
+            }
+            return;
+        }
         const std::vector<std::uint32_t> picks =
             scheduler_->top_k_excluding(pipeline.depth(),
                                         exclude_scratch_);
@@ -771,7 +811,12 @@ class NosWalkerEngine {
         if (spill_) {
             spill_->retire(id, bucket.size());
         }
+        // Walkers parked out of this batch flowed *from* this block —
+        // the signal the planner's one-step transition estimate feeds
+        // on (§13).
+        flow_src_ = id;
         step_records(app, bucket, &response);
+        flow_src_ = BlockScheduler::kNoBlock;
     }
 
     /**
@@ -882,6 +927,19 @@ class NosWalkerEngine {
         pool_->retire_n(delta.retired + delta.emigrants.size());
         for (Record &rec : delta.emigrants) {
             emigrants_out_->push_back(std::move(rec));
+        }
+        if (planner_ != nullptr) {
+            // Single-writer merge point for both the scalar and the
+            // cohort-kernel paths: every parked walker is one observed
+            // (processed block → waiting block) transition.  Fresh
+            // injections (flow_src_ == kNoBlock) are ignored — they
+            // are arrivals, not flow.
+            planner_->record_exits(flow_src_,
+                                   delta.retired +
+                                       delta.emigrants.size());
+            for (const auto &[block, rec] : delta.parked) {
+                planner_->record_flow(flow_src_, block);
+            }
         }
         for (auto &[block, rec] : delta.parked) {
             pool_->park(block, rec);
@@ -1108,8 +1166,20 @@ class NosWalkerEngine {
         stats_.blocks_loaded = pipeline.coarse_loads;
         stats_.fine_loads = pipeline.fine_loads;
         stats_.cache_hit_blocks = pipeline.cache_hit_loads;
+        // Every coarse load probes the attached cache, so the misses
+        // are exactly the coarse loads that were not hits (fine loads
+        // bypass the cache).  Without a cache there is nothing to miss.
+        stats_.cache_miss_blocks =
+            shared_cache_ != nullptr
+                ? pipeline.coarse_loads - pipeline.cache_hit_loads
+                : 0;
         stats_.prefetch_hits = pipeline.prefetch_hits;
         stats_.prefetch_mispredicts = pipeline.prefetch_mispredicts;
+        if (planner_ != nullptr) {
+            stats_.plan_rescores = planner_->stats().plan_rescores;
+            stats_.plan_cache_credits =
+                planner_->stats().plan_cache_credits;
+        }
         stats_.io_wait_seconds = pipeline.io_wait_seconds;
         local_io_bytes_ = pipeline.bytes_read;
         local_io_requests_ = pipeline.read_requests;
@@ -1199,6 +1269,14 @@ class NosWalkerEngine {
 
     std::unique_ptr<WalkerPool<Record>> pool_;
     std::unique_ptr<BlockScheduler> scheduler_;
+    /** Lookahead block-load planner; null when plan_window == 0 so the
+     *  greedy nomination path stays byte-for-byte untouched (§13). */
+    std::unique_ptr<LoadPlanner> planner_;
+    /** Block whose bucket the walkers being merged were stepped from
+     *  (kNoBlock during fresh-injection admission). */
+    std::uint32_t flow_src_ = BlockScheduler::kNoBlock;
+    /** Tenant fairness weight applied to the next run's plans (§13). */
+    double plan_weight_ = 1.0;
     /** The pool's accountant; its cap never varies with prefetch
      *  depth (§10).  Declared before buffers_ so the buffers' RAII
      *  reservations release against a live budget on destruction. */

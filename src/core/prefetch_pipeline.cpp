@@ -106,9 +106,9 @@ PrefetchPipeline::account(const storage::AsyncLoader::Response &response)
         ++stats_.fine_loads;
     } else {
         ++stats_.coarse_loads;
-    }
-    if (response.result.from_cache) {
-        ++stats_.cache_hit_loads;
+        if (response.result.from_cache) {
+            ++stats_.cache_hit_loads;
+        }
     }
     stats_.bytes_read += response.result.bytes_read;
     stats_.read_requests += response.result.requests;

@@ -84,6 +84,10 @@ class PrefetchPipeline {
         /** Per-response totals of every consumed load (incl. demoted). */
         std::uint64_t coarse_loads = 0;
         std::uint64_t fine_loads = 0;
+        /** Coarse loads served from the SharedBlockCache.  Coarse
+         *  only, so `coarse_loads - cache_hit_loads` is the device
+         *  (miss) count; fine-mode page reads are below block
+         *  granularity and keep their own accounting. */
         std::uint64_t cache_hit_loads = 0;
         std::uint64_t bytes_read = 0;
         std::uint64_t read_requests = 0;

@@ -54,8 +54,12 @@ RunStats::operator+=(const RunStats &other)
     blocks_loaded += other.blocks_loaded;
     fine_loads += other.fine_loads;
     cache_hit_blocks += other.cache_hit_blocks;
+    cache_miss_blocks += other.cache_miss_blocks;
     prefetch_hits += other.prefetch_hits;
     prefetch_mispredicts += other.prefetch_mispredicts;
+    planned_loads += other.planned_loads;
+    plan_rescores += other.plan_rescores;
+    plan_cache_credits += other.plan_cache_credits;
     migrations += other.migrations;
     migration_batches += other.migration_batches;
     kernel_cohorts += other.kernel_cohorts;
@@ -98,8 +102,12 @@ RunStats::scaled(double fraction) const
     out.blocks_loaded = part(blocks_loaded);
     out.fine_loads = part(fine_loads);
     out.cache_hit_blocks = part(cache_hit_blocks);
+    out.cache_miss_blocks = part(cache_miss_blocks);
     out.prefetch_hits = part(prefetch_hits);
     out.prefetch_mispredicts = part(prefetch_mispredicts);
+    out.planned_loads = part(planned_loads);
+    out.plan_rescores = part(plan_rescores);
+    out.plan_cache_credits = part(plan_cache_credits);
     out.migrations = part(migrations);
     out.migration_batches = part(migration_batches);
     out.kernel_cohorts = part(kernel_cohorts);
@@ -130,10 +138,14 @@ RunStats::to_string() const
         << "\n"
         << "  blocks=" << blocks_loaded << " fine_loads=" << fine_loads
         << " cache_hits=" << cache_hit_blocks
+        << " cache_misses=" << cache_miss_blocks
         << " prefetch_hits=" << prefetch_hits
         << " mispredicts=" << prefetch_mispredicts
         << " presample_steps=" << presample_steps
         << " block_steps=" << block_steps << " stalls=" << stalls << "\n"
+        << "  planned_loads=" << planned_loads
+        << " plan_rescores=" << plan_rescores
+        << " plan_cache_credits=" << plan_cache_credits << "\n"
         << "  migrations=" << migrations
         << " migration_batches=" << migration_batches
         << " migration_wait_s=" << migration_wait_seconds << "\n"

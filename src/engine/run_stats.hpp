@@ -40,12 +40,23 @@ struct RunStats {
     std::uint64_t fine_loads = 0;
     /** Coarse loads served from a shared block cache (no device I/O). */
     std::uint64_t cache_hit_blocks = 0;
+    /** Coarse loads that probed an attached shared cache and missed
+     *  (went to the device).  0 when no cache is attached. */
+    std::uint64_t cache_miss_blocks = 0;
 
     /** Demanded blocks served by a speculative prefetch (DESIGN.md §10). */
     std::uint64_t prefetch_hits = 0;
     /** Speculative loads whose walker bucket drained before processing
      *  (demoted to the shared cache / stash, never discarded). */
     std::uint64_t prefetch_mispredicts = 0;
+
+    /** Speculative loads committed by the LoadPlanner (plan_window > 0;
+     *  DESIGN.md §13). */
+    std::uint64_t planned_loads = 0;
+    /** One-step walker-flow propagations applied while planning. */
+    std::uint64_t plan_rescores = 0;
+    /** Planned picks whose cost was discounted for cache residency. */
+    std::uint64_t plan_cache_credits = 0;
 
     /** Walkers handed across shard boundaries (sharded engine only). */
     std::uint64_t migrations = 0;

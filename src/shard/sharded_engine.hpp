@@ -129,6 +129,15 @@ class ShardedEngine {
         }
     }
 
+    /** Fairness weight of every shard's load plans (DESIGN.md §13). */
+    void
+    set_plan_weight(double weight)
+    {
+        for (Shard &shard : shards_) {
+            shard.engine->set_plan_weight(weight);
+        }
+    }
+
     /** Shards actually planned (num_shards clamped to the blocks). */
     unsigned num_shards() const { return plan_.num_shards(); }
 
@@ -336,8 +345,12 @@ class ShardedEngine {
             total.blocks_loaded += s.blocks_loaded;
             total.fine_loads += s.fine_loads;
             total.cache_hit_blocks += s.cache_hit_blocks;
+            total.cache_miss_blocks += s.cache_miss_blocks;
             total.prefetch_hits += s.prefetch_hits;
             total.prefetch_mispredicts += s.prefetch_mispredicts;
+            total.planned_loads += s.planned_loads;
+            total.plan_rescores += s.plan_rescores;
+            total.plan_cache_credits += s.plan_cache_credits;
             total.presample_steps += s.presample_steps;
             total.block_steps += s.block_steps;
             total.stalls += s.stalls;

@@ -38,6 +38,60 @@ TEST(BlockScheduler, CountsTracked)
     EXPECT_EQ(sched.count(1), 0u);
 }
 
+TEST(BlockScheduler, RemoveWalkersUnderflowClampsInsteadOfWrapping)
+{
+    // Regression: remove_walkers(b, n) with n > count used to wrap the
+    // unsigned bucket to ~2^64, wedging the schedule on block b
+    // forever.  Release builds clamp to zero; debug builds assert.
+    core::BlockScheduler sched(4, 4.0, 1 << 20, 4096);
+    sched.add_walker(1);
+    sched.add_walker(2);
+#ifdef NDEBUG
+    sched.remove_walkers(1, 5); // over-removal clamps...
+    EXPECT_EQ(sched.count(1), 0u);
+    EXPECT_EQ(sched.hottest(), 2u) << "block 1 must not wrap hottest";
+#else
+    EXPECT_DEATH(sched.remove_walkers(1, 5), "");
+#endif
+}
+
+TEST(BlockScheduler, HottestBreaksTiesTowardLowestBlockId)
+{
+    // Stated determinism contract (not an accident): the planner's
+    // candidate order and the processed-block schedule rely on it.
+    core::BlockScheduler sched(5, 4.0, 1 << 20, 4096);
+    sched.add_walker(4);
+    sched.add_walker(2);
+    sched.add_walker(3);
+    EXPECT_EQ(sched.hottest(), 2u);
+    sched.add_walker(3);
+    EXPECT_EQ(sched.hottest(), 3u) << "strictly hotter wins";
+    sched.add_walker(2);
+    EXPECT_EQ(sched.hottest(), 2u) << "tie at 2 resolves to lower id";
+    EXPECT_EQ(sched.hottest_excluding(2), 3u);
+}
+
+TEST(BlockScheduler, TopKBreaksTiesTowardLowestIdAtEveryRank)
+{
+    core::BlockScheduler sched(6, 4.0, 1 << 20, 4096);
+    // counts: b1=2, b3=2, b0=1, b5=1, b4=0.
+    sched.add_walker(3);
+    sched.add_walker(3);
+    sched.add_walker(1);
+    sched.add_walker(1);
+    sched.add_walker(5);
+    sched.add_walker(0);
+    const std::vector<std::uint32_t> top =
+        sched.top_k_excluding(6, {});
+    const std::vector<std::uint32_t> want = {1, 3, 0, 5};
+    EXPECT_EQ(top, want);
+    const std::uint32_t skip[] = {1};
+    const std::vector<std::uint32_t> rest =
+        sched.top_k_excluding(2, skip);
+    const std::vector<std::uint32_t> want_rest = {3, 0};
+    EXPECT_EQ(rest, want_rest);
+}
+
 TEST(BlockScheduler, FineModeRule)
 {
     // S_G = 1 MiB, alpha = 4, page 4 KiB: threshold at |Wa| = 64.

@@ -85,6 +85,9 @@ struct SweepPoint {
     double io_busy_seconds = 0.0;
     double cpu_seconds = 0.0;
     std::uint64_t peak_memory = 0;
+    /** p99 across per-shard modeled seconds, one sample per shard per
+     *  sharded batch run (0 on single-engine points). */
+    double shard_p99 = 0.0;
 };
 
 SweepPoint
@@ -139,6 +142,7 @@ run_point(BenchEnv &env, GraphHandle &handle, unsigned workers,
     const auto counters = svc.counters();
     point.batches = counters.batches;
     point.cache_hits = counters.cache_hits;
+    point.shard_p99 = percentile(svc.shard_modeled_samples(), 0.99);
     return point;
 }
 
@@ -168,7 +172,8 @@ main(int argc, char **argv)
     print_table_header(
         "Closed-loop sweep (" + std::to_string(kRequests) + " requests)",
         {"workers", "max_batch", "shards", "req/s", "req/s/shard",
-         "p50 lat(s)", "p99 lat(s)", "batches", "cache hits", "steps"});
+         "p50 lat(s)", "p99 lat(s)", "shard p99(s)", "batches",
+         "cache hits", "steps"});
     for (const unsigned workers : {1u, 2u, 4u}) {
         for (const std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
             // Sharded backends only pay off for large coalesced runs;
@@ -190,6 +195,7 @@ main(int argc, char **argv)
                                  fmt_double(per_shard, 1),
                                  fmt_double(p.p50, 4),
                                  fmt_double(p.p99, 4),
+                                 fmt_double(p.shard_p99, 4),
                                  fmt_count(p.batches),
                                  fmt_count(p.cache_hits),
                                  fmt_count(p.steps)});
@@ -215,6 +221,8 @@ main(int argc, char **argv)
                                       per_shard);
                 r.extras.emplace_back("p50_latency_seconds", p.p50);
                 r.extras.emplace_back("p99_latency_seconds", p.p99);
+                r.extras.emplace_back("shard_p99_modeled_seconds",
+                                      p.shard_p99);
                 json.add(std::move(r));
             }
         }

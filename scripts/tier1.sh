@@ -16,7 +16,7 @@ echo
 echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel, load planner) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|StepKernel|LoadPlanner|PlanWindow' --output-on-failure
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|MigrationOverlap|ShardPresample|StepKernel|LoadPlanner|PlanWindow' --output-on-failure
 
 echo
 echo "== tier 1: prefetch smoke (reorder-window + depth ablations) =="
@@ -27,6 +27,10 @@ echo
 echo "== tier 1: sharded smoke (cross-shard bit-identity + migration conservation) =="
 ctest --test-dir build -R 'Sharded|Migration|ShardPlan' --output-on-failure -j "$JOBS"
 ./build/bench/shard_scaling >/dev/null
+
+echo
+echo "== tier 1: shard-overlap smoke (barrier vs overlapped bit-identity + shard presample) =="
+ctest --test-dir build -R 'MigrationOverlap|ShardPresample' --output-on-failure -j "$JOBS"
 
 echo
 echo "== tier 1: cohort smoke (scalar vs cohort bit-identity + batch draws) =="

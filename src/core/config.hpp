@@ -105,6 +105,35 @@ struct EngineConfig {
     unsigned num_shards = 1;
 
     /**
+     * Overlapped shard migration (DESIGN.md §11): shards flush
+     * emigrant consignments to the exchange incrementally as block
+     * buckets drain (instead of one post at the round barrier), and
+     * completed consignments are staged while the destination shard is
+     * still stepping — so the wire time overlaps with the remainder of
+     * the round, and only the residual the stepping could not hide is
+     * charged as migration_wait_seconds (the hidden portion is
+     * reported in migration_overlap_seconds).  Staged immigrants are
+     * admitted at the round boundary in (dst, src, flush-seq) order,
+     * so the walker set entering round r+1 — and therefore walk output
+     * — is byte-identical to the hard-barrier version (false).
+     */
+    bool shard_overlap = true;
+
+    /**
+     * Re-enable pre-sampling inside shard rounds (DESIGN.md §11).
+     * Shard reservoirs are filled from shard-owned blocks with streams
+     * derived from (seed, block id, rebuild generation), and drying is
+     * snapshot-published at step-round barriers, so with this on walk
+     * output is still a pure function of (seed, shard plan): identical
+     * across step-thread counts and across barrier/overlapped
+     * migration.  It is *not* identical across different shard counts
+     * — each plan partitions the visit history differently — which is
+     * why the default stays off (the cross-shard-count bit-identity
+     * contract of num_shards).
+     */
+    bool shard_presample = false;
+
+    /**
      * Lookahead window of the block-load planner (DESIGN.md §13): at
      * each nomination point the planner scores the next
      * prefetch_depth + plan_window hottest candidates by expected

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -147,6 +148,26 @@ class NosWalkerEngine {
         return run(app, total_walkers);
     }
 
+    /** Per-bucket emigrant consignment sink (overlapped shard
+     *  migration, DESIGN.md §11).  Invoked on the engine's scheduler
+     *  thread at deterministic flush points — after each processed
+     *  bucket's merge — with the emigrants accumulated since the last
+     *  flush, in outbox order.  Must not re-enter the engine. */
+    using EmigrantSink = std::function<void(std::vector<Record> &&)>;
+
+    /**
+     * Route shard-mode emigrants through @p sink incrementally instead
+     * of accumulating them all in the run_records out-vector; records
+     * still pending at quiescence stay in the out-vector (the caller's
+     * final flush).  Pass nullptr to restore barrier behaviour.  Only
+     * consulted in shard mode; never changes walk output — it only
+     * moves already-merged records out of the engine earlier.
+     */
+    void set_emigrant_sink(EmigrantSink sink)
+    {
+        emigrant_sink_ = std::move(sink);
+    }
+
     /**
      * Shard-mode entry (one migration round of shard::ShardedEngine):
      * execute exactly the pre-generated @p records, treating only
@@ -155,10 +176,12 @@ class NosWalkerEngine {
      * stepped; it is appended to @p emigrants (with its live RNG
      * stream) for the caller to route to the owning shard.
      *
-     * Pre-sampling is forced off for the round: reservoir contents
+     * Pre-sampling defaults off for the round: reservoir contents
      * depend on refill timing, which varies with the shard count, and
      * would break the cross-shard bit-identity contract (DESIGN.md
-     * §11).  Per-walker streams are untouched by migration, so each
+     * §11).  config_.shard_presample re-enables it with shard-local
+     * reservoirs whose contents are a pure function of (seed, shard
+     * plan).  Per-walker streams are untouched by migration, so each
      * trajectory stays a pure function of (seed, walker id, graph).
      */
     engine::RunStats
@@ -237,6 +260,7 @@ class NosWalkerEngine {
                 cpu.reset();
                 admit_walkers(a, nullptr);
                 cpu_seconds += cpu.seconds();
+                flush_emigrants();
                 continue;
             }
             // The processed block is always the hottest at choice time
@@ -254,6 +278,9 @@ class NosWalkerEngine {
             }
             admit_walkers(a, &response);
             cpu_seconds += cpu.seconds();
+            // Per-bucket flush point (§11): every emigrant merged by
+            // this iteration ships now, while later buckets still step.
+            flush_emigrants();
 
             pipeline.recycle(std::move(response.buffer));
             pipeline.sweep(*scheduler_);
@@ -300,6 +327,25 @@ class NosWalkerEngine {
         std::vector<Record> emigrants;
     };
 
+    /**
+     * Hand the emigrants accumulated since the last flush to the sink
+     * (overlapped shard migration).  Scheduler thread only, after the
+     * merge barrier — the records are final and in outbox order.  A
+     * no-op without a sink (barrier mode): everything stays in the
+     * run_records out-vector for the caller's single post.
+     */
+    void
+    flush_emigrants()
+    {
+        if (!emigrant_sink_ || emigrants_out_ == nullptr ||
+            emigrants_out_->empty()) {
+            return;
+        }
+        std::vector<Record> out;
+        out.swap(*emigrants_out_);
+        emigrant_sink_(std::move(out));
+    }
+
     void
     exit_shard_mode()
     {
@@ -325,9 +371,12 @@ class NosWalkerEngine {
         stats_.pipelined = true; // set false later in single-buffer mode
         run_seed_ = seed_override_.value_or(config_.seed);
         seed_override_.reset();
-        // Shard rounds never pre-sample: reservoir contents depend on
-        // refill timing, which varies with the shard count (§11).
-        presample_enabled_ = config_.presample && !shard_mode_;
+        // Shard rounds pre-sample only when shard_presample opts in:
+        // reservoir contents vary with the shard count, so the default
+        // preserves cross-shard-count bit-identity (§11).
+        presample_enabled_ =
+            config_.presample &&
+            (!shard_mode_ || config_.shard_presample);
         // Domain-separated stream root for pre-sample fills so they
         // never collide with walker streams.
         presample_seed_ =
@@ -1236,6 +1285,8 @@ class NosWalkerEngine {
     std::uint32_t owned_begin_ = 0;
     std::uint32_t owned_end_ = 0;
     std::vector<Record> *emigrants_out_ = nullptr;
+    /** Per-bucket consignment sink (overlap mode; null = barrier). */
+    EmigrantSink emigrant_sink_;
     /** Pre-routed records to admit instead of generating (shard mode). */
     std::vector<Record> seed_records_;
     /** config_.presample, forced off for shard rounds (reset()). */

@@ -74,6 +74,7 @@ RunStats::operator+=(const RunStats &other)
     io_busy_seconds += other.io_busy_seconds;
     io_wait_seconds += other.io_wait_seconds;
     migration_wait_seconds += other.migration_wait_seconds;
+    migration_overlap_seconds += other.migration_overlap_seconds;
     wall_seconds += other.wall_seconds;
     pipelined = pipelined || other.pipelined;
     io_efficiency = std::max(io_efficiency, other.io_efficiency);
@@ -122,6 +123,7 @@ RunStats::scaled(double fraction) const
     out.io_busy_seconds = io_busy_seconds * fraction;
     out.io_wait_seconds = io_wait_seconds * fraction;
     out.migration_wait_seconds = migration_wait_seconds * fraction;
+    out.migration_overlap_seconds = migration_overlap_seconds * fraction;
     out.wall_seconds = wall_seconds * fraction;
     return out;
 }
@@ -148,7 +150,8 @@ RunStats::to_string() const
         << " plan_cache_credits=" << plan_cache_credits << "\n"
         << "  migrations=" << migrations
         << " migration_batches=" << migration_batches
-        << " migration_wait_s=" << migration_wait_seconds << "\n"
+        << " migration_wait_s=" << migration_wait_seconds
+        << " migration_overlap_s=" << migration_overlap_seconds << "\n"
         << "  kernel_cohorts=" << kernel_cohorts
         << " kernel_prefetches=" << kernel_prefetches
         << " kernel_scalar_fallbacks=" << kernel_scalar_fallbacks << "\n"

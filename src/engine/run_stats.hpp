@@ -92,6 +92,11 @@ struct RunStats {
     /** Modeled seconds spent exchanging walker batches at shard round
      *  barriers (DESIGN.md §11; overlapped by neither phase). */
     double migration_wait_seconds = 0.0;
+    /** Modeled exchange seconds *hidden* behind stepping by overlapped
+     *  per-bucket migration flushes (shard_overlap; DESIGN.md §11).
+     *  Informational: never added to modeled_seconds — it is the part
+     *  of the wire cost stepping already covered. */
+    double migration_overlap_seconds = 0.0;
     /** Fraction of device bandwidth the engine's I/O path achieves. */
     double io_efficiency = 1.0;
     /** True when the engine overlaps I/O with computation. */

@@ -111,6 +111,25 @@ struct ServiceConfig {
     unsigned num_shards = 1;
 
     /**
+     * Overlapped shard migration (num_shards > 1 only; see
+     * EngineConfig::shard_overlap, DESIGN.md §11): emigrant
+     * consignments are flushed to the exchange as block buckets drain
+     * and staged while destination shards still step, so only the
+     * residual wire time is charged as migration wait.  Never changes
+     * request output — admission order is re-sequenced at the round
+     * boundary.
+     */
+    bool shard_overlap = true;
+
+    /**
+     * Deterministic shard-local pre-sampling inside shard rounds (see
+     * EngineConfig::shard_presample).  Request output stays a pure
+     * function of (request seed, shard plan) — i.e. fixed num_shards —
+     * but differs from other shard counts, hence default off.
+     */
+    bool shard_presample = false;
+
+    /**
      * Over-budget policy: true queues requests until workers free
      * memory; false rejects at submission when the request would not
      * fit right now.

@@ -146,6 +146,14 @@ class BatchRunner {
         }
     }
 
+    /** Per-shard lifetime totals of the last run (null when the runner
+     *  drives a plain single engine). */
+    const std::vector<engine::RunStats> *
+    shard_stats() const
+    {
+        return sharded_ ? &sharded_->shard_stats() : nullptr;
+    }
+
   private:
     static core::EngineConfig
     engine_config(const ServiceConfig &config)
@@ -162,6 +170,8 @@ class BatchRunner {
         ec.prefetch_reorder_window = config.prefetch_reorder_window;
         ec.plan_window = config.plan_window;
         ec.num_shards = config.num_shards;
+        ec.shard_overlap = config.shard_overlap;
+        ec.shard_presample = config.shard_presample;
         return ec;
     }
 
@@ -581,6 +591,16 @@ WalkService::run_batch(Batch &batch, BatchRunner &runner)
                                       std::memory_order_relaxed);
     }
 
+    // Per-shard modeled latency samples (sharded runners only): one
+    // sample per shard per batch run, for the benches' per-shard p99.
+    if (const std::vector<engine::RunStats> *per_shard =
+            runner.shard_stats()) {
+        std::lock_guard lock(shard_mutex_);
+        for (const engine::RunStats &s : *per_shard) {
+            shard_modeled_samples_.push_back(s.modeled_seconds());
+        }
+    }
+
     std::uint64_t total_steps = 0;
     for (const ServiceWalkApp::Slot &slot : app.slots()) {
         total_steps += slot.steps_taken;
@@ -698,6 +718,13 @@ WalkService::tenant_stats(std::uint64_t tenant) const
     std::lock_guard lock(tenant_mutex_);
     const auto it = tenant_stats_.find(tenant);
     return it != tenant_stats_.end() ? it->second : engine::RunStats{};
+}
+
+std::vector<double>
+WalkService::shard_modeled_samples() const
+{
+    std::lock_guard lock(shard_mutex_);
+    return shard_modeled_samples_;
 }
 
 } // namespace noswalker::service

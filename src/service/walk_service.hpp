@@ -107,6 +107,13 @@ class WalkService {
     /** Aggregated per-tenant run stats (RunStats slices summed). */
     engine::RunStats tenant_stats(std::uint64_t tenant) const;
 
+    /**
+     * Per-shard modeled-seconds samples: one per shard per sharded
+     * batch run (empty when num_shards == 1).  The benches compute
+     * per-shard p99 modeled latency from these.
+     */
+    std::vector<double> shard_modeled_samples() const;
+
     /** The shared memory budget. */
     const util::MemoryBudget &budget() const { return budget_; }
 
@@ -197,6 +204,9 @@ class WalkService {
 
     mutable std::mutex tenant_mutex_;
     std::unordered_map<std::uint64_t, engine::RunStats> tenant_stats_;
+
+    mutable std::mutex shard_mutex_;
+    std::vector<double> shard_modeled_samples_;
 };
 
 } // namespace noswalker::service

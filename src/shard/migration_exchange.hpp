@@ -1,20 +1,39 @@
 /**
  * @file
- * Batched walker exchange between shards at round barriers.
+ * Batched walker exchange between shards.
  *
- * During a round every shard collects its emigrants locally; at the
- * barrier it buckets them into per-(src,dst) batches and posts them
- * all under one lock (BlockingQueue::push_batch).  The orchestrator
- * then drains the queue in one acquisition (pop_all) and sorts the
- * batches by (dst, src), so delivery order — and therefore the next
- * round's admission order — is a pure function of the walk, never of
- * which shard thread reached the barrier first.
+ * Barrier mode: during a round every shard collects its emigrants
+ * locally; at the barrier it buckets them into per-(src,dst) batches
+ * and posts them all under one lock (BlockingQueue::push_batch).  The
+ * orchestrator then drains the queue in one acquisition (pop_all).
+ *
+ * Overlap mode (DESIGN.md §11): shards post consignments incrementally
+ * as block buckets drain — each flush event carries a per-src sequence
+ * number — and any shard thread may opportunistically move completed
+ * consignments out of the queue mid-round (collect(), non-blocking)
+ * into the orchestrator's staging pool.
+ *
+ * Either way, delivery order — and therefore the next round's
+ * admission order — is made a pure function of the walk, never of
+ * which shard thread reached the exchange first, by sorting staged
+ * batches by (dst, src, seq) before admission: per (src,dst) pair the
+ * seq-ascending concatenation reproduces the src shard's outbox order
+ * exactly, so the admitted walker sequence is byte-identical to the
+ * single-post barrier version.
+ *
+ * Conservation is tracked per (src,dst) pair: post() and collect()
+ * update a pair-flow table, a debug-build assert_conserved() verifies
+ * posted == delivered for every pair once the exchange is drained, and
+ * pair_flows() exposes the table to tests.
  */
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -22,12 +41,16 @@
 
 namespace noswalker::shard {
 
-/** One shard-to-shard walker consignment of one round. */
+/** One shard-to-shard walker consignment. */
 template <typename Record>
 struct MigrationBatch {
     std::uint32_t src = 0;
     std::uint32_t dst = 0;
     std::uint64_t round = 0;
+    /** Flush sequence of the posting shard within the round (overlap
+     *  mode posts many flushes per round; barrier mode posts one).
+     *  Admission sorts by (dst, src, seq) — see the file comment. */
+    std::uint64_t seq = 0;
     std::vector<Record> records;
 };
 
@@ -39,15 +62,25 @@ struct ExchangeCounters {
     std::uint64_t delivered_batches = 0;
 };
 
+/** Per-(src,dst) slice of the conservation counters. */
+struct PairFlow {
+    std::uint64_t posted_records = 0;
+    std::uint64_t posted_batches = 0;
+    std::uint64_t delivered_records = 0;
+    std::uint64_t delivered_batches = 0;
+};
+
 /**
- * Multi-producer (shard threads), single-drainer (round orchestrator)
- * exchange.  Unbounded: a round's emigrant volume is already bounded
- * by the shards' walker-pool caps.
+ * Multi-producer (shard threads), multi-drainer (any shard thread may
+ * stage; the round orchestrator admits) exchange.  Unbounded: a
+ * round's emigrant volume is already bounded by the shards' walker-
+ * pool caps.
  */
 template <typename Record>
 class MigrationExchange {
   public:
     using Batch = MigrationBatch<Record>;
+    using PairKey = std::pair<std::uint32_t, std::uint32_t>;
 
     MigrationExchange() : queue_(0) {}
 
@@ -61,6 +94,14 @@ class MigrationExchange {
             records += b.records.size();
         }
         const std::uint64_t count = batches.size();
+        {
+            std::lock_guard<std::mutex> lock(pair_mutex_);
+            for (const Batch &b : batches) {
+                PairFlow &flow = pair_flows_[{b.src, b.dst}];
+                flow.posted_records += b.records.size();
+                flow.posted_batches += 1;
+            }
+        }
         if (!queue_.push_batch(std::move(batches))) {
             return false;
         }
@@ -70,27 +111,43 @@ class MigrationExchange {
     }
 
     /**
-     * Drain everything posted this round (the caller's barrier
-     * guarantees all producers have posted), in deterministic
-     * (dst, src) order.
+     * Drain everything currently posted, without blocking.  Safe from
+     * any thread; the caller owns sequencing the drained batches into
+     * admission order — sort by (dst, src, seq), see admission_order().
      */
     std::vector<Batch>
     collect()
     {
         std::vector<Batch> all = queue_.pop_all();
-        std::sort(all.begin(), all.end(),
-                  [](const Batch &a, const Batch &b) {
-                      return a.dst != b.dst ? a.dst < b.dst
-                                            : a.src < b.src;
-                  });
         std::uint64_t records = 0;
         for (const Batch &b : all) {
             records += b.records.size();
+        }
+        {
+            std::lock_guard<std::mutex> lock(pair_mutex_);
+            for (const Batch &b : all) {
+                PairFlow &flow = pair_flows_[{b.src, b.dst}];
+                flow.delivered_records += b.records.size();
+                flow.delivered_batches += 1;
+            }
         }
         delivered_records_.fetch_add(records, std::memory_order_relaxed);
         delivered_batches_.fetch_add(all.size(),
                                      std::memory_order_relaxed);
         return all;
+    }
+
+    /** The deterministic admission order: (dst, src, seq) ascending. */
+    static bool
+    admission_order(const Batch &a, const Batch &b)
+    {
+        if (a.dst != b.dst) {
+            return a.dst < b.dst;
+        }
+        if (a.src != b.src) {
+            return a.src < b.src;
+        }
+        return a.seq < b.seq;
     }
 
     /** Fail all future posts (shutdown). */
@@ -114,12 +171,44 @@ class MigrationExchange {
         return c;
     }
 
+    /** Copy of the per-(src,dst) conservation table. */
+    std::map<PairKey, PairFlow>
+    pair_flows() const
+    {
+        std::lock_guard<std::mutex> lock(pair_mutex_);
+        return pair_flows_;
+    }
+
+    /**
+     * Debug-build invariant: once the exchange is drained, every
+     * record and batch posted for a (src,dst) pair was delivered to
+     * it.  A no-op in NDEBUG builds.
+     */
+    void
+    assert_conserved() const
+    {
+#ifndef NDEBUG
+        assert(queue_.size() == 0 &&
+               "exchange drained before conservation check");
+        std::lock_guard<std::mutex> lock(pair_mutex_);
+        for (const auto &[key, flow] : pair_flows_) {
+            (void)key;
+            assert(flow.posted_records == flow.delivered_records &&
+                   "per-pair record conservation");
+            assert(flow.posted_batches == flow.delivered_batches &&
+                   "per-pair batch conservation");
+        }
+#endif
+    }
+
   private:
     util::BlockingQueue<Batch> queue_;
     std::atomic<std::uint64_t> posted_records_{0};
     std::atomic<std::uint64_t> posted_batches_{0};
     std::atomic<std::uint64_t> delivered_records_{0};
     std::atomic<std::uint64_t> delivered_batches_{0};
+    mutable std::mutex pair_mutex_;
+    std::map<PairKey, PairFlow> pair_flows_;
 };
 
 } // namespace noswalker::shard

@@ -59,4 +59,11 @@ ShardPlan::shard_of_block(std::uint32_t block) const
     return static_cast<unsigned>(it - first_blocks_.begin()) - 1;
 }
 
+unsigned
+ShardPlan::assign_walker(const graph::BlockPartition &partition,
+                         graph::VertexId vertex) const
+{
+    return shard_of_block(partition.block_of(vertex));
+}
+
 } // namespace noswalker::shard

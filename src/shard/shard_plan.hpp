@@ -60,6 +60,28 @@ class ShardPlan {
     /** Owning shard of @p block (O(log num_shards)). */
     unsigned shard_of_block(std::uint32_t block) const;
 
+    /**
+     * Locality-aware seed placement: the shard owning the block that
+     * holds @p vertex.  A walker seeded here starts on the shard that
+     * already has its first edge data, so round 1 begins with zero
+     * migrations.  Pure function of (partition, plan, vertex) —
+     * identical on every host and at every thread count.
+     */
+    unsigned assign_walker(const graph::BlockPartition &partition,
+                           graph::VertexId vertex) const;
+
+    /**
+     * Documented fallback when no partition is at hand (e.g. synthetic
+     * load generators): round-robin by walker index.  Spreads load
+     * evenly but guarantees nothing about locality — most walkers
+     * migrate on their first step.
+     */
+    unsigned
+    assign_walker_round_robin(std::uint64_t walker_index) const
+    {
+        return static_cast<unsigned>(walker_index % ranges_.size());
+    }
+
   private:
     std::vector<ShardRange> ranges_;
     std::vector<std::uint32_t> first_blocks_; ///< per shard, for lookup

@@ -8,30 +8,52 @@
  * Execution proceeds in rounds.  Each round, every shard with waiting
  * walkers runs its engine to local quiescence: walkers whose next
  * vertex another shard owns are handed back as emigrants instead of
- * parking.  At the round barrier the emigrants are exchanged as
- * batched per-(src,dst) consignments (MigrationExchange) and become
- * the next round's inboxes.  The round ends when no shard holds a
- * walker.
+ * parking.  The emigrants are exchanged as batched per-(src,dst)
+ * consignments (MigrationExchange) and become the next round's
+ * inboxes.  The round ends when no shard holds a walker.
+ *
+ * With shard_overlap (the default), shards do not sit on their
+ * emigrants until the barrier: the engine flushes each block bucket's
+ * emigrants through an EmigrantSink as the bucket drains, the sink
+ * posts them to the exchange tagged with a per-shard flush sequence,
+ * and opportunistically stages already-posted consignments from other
+ * shards while its own engine is still stepping.  The wire time of a
+ * flush then overlaps the remainder of the round, and only the
+ * residual the stepping could not hide is charged as
+ * migration_wait_seconds (the hidden part lands in
+ * migration_overlap_seconds).  Staged immigrants are admitted at the
+ * round boundary in (dst, src, flush-seq) order, which per (src,dst)
+ * pair reconstructs the src shard's outbox order exactly — so the
+ * walker set entering round r+1 is byte-identical to the hard-barrier
+ * version (shard_overlap = false), and so is every trajectory.
  *
  * Determinism: every walker carries its private SplitMix64 stream
  * (engine::Stepped) across migrations, streams are derived exactly as
  * the plain engine derives them, and pre-sampling — the one mechanism
- * whose output depends on load timing — is forced off for shard
- * rounds.  A trajectory is therefore a pure function of (seed, walker
- * id, graph): endpoints and visit counts are bit-identical across
- * {1, 2, N} shards, any step-thread count, and any shard→thread
- * placement.
+ * whose output depends on load timing — is off for shard rounds
+ * unless shard_presample opts into the deterministic shard-local
+ * variant (then output is a pure function of (seed, shard plan)).  By
+ * default a trajectory is a pure function of (seed, walker id, graph):
+ * endpoints and visit counts are bit-identical across {1, 2, N}
+ * shards, any step-thread count, barrier or overlapped migration, and
+ * any shard→thread placement.
  *
  * Modeled time: shards run concurrently, so each round contributes the
  * *maximum* of the per-shard I/O / CPU / wait phases; raw counters
- * sum.  Barrier exchanges add migration_wait_seconds priced by the
- * same MigrationCostModel the KnightKing baseline uses.
+ * sum.  Exchanges are priced per flush event by the same
+ * MigrationCostModel the KnightKing baseline uses; the k-th of a
+ * shard's K flush events gets a hiding window proportional to the
+ * round span left after it ((K-1-k)/K), tail flushes (posted at
+ * quiescence) get none — which makes barrier mode, whose single post
+ * is all tail, degenerate to charging the full exchange cost as wait,
+ * exactly as before.
  */
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -184,19 +206,59 @@ class ShardedEngine {
 
         // Generate and route every walker up front: the router needs
         // each start vertex, and the record (walker + stream) must be
-        // identical to what the plain engine would generate.
+        // identical to what the plain engine would generate.  Seeding
+        // is locality-aware: each walker starts on the shard that owns
+        // its start vertex's block (ShardPlan::assign_walker), so
+        // round 1 opens with zero migrations.
         std::vector<std::vector<Record>> inbox(n);
         for (std::uint64_t id = 0; id < total_walkers; ++id) {
             Record rec;
             rec.w = app.generate(id);
             rec.rng_state = util::derive_stream(seed, id);
-            const std::uint32_t b =
-                partition_->block_of(engine::waiting_vertex(app, rec.w));
-            inbox[plan_.shard_of_block(b)].push_back(std::move(rec));
+            const unsigned owner = plan_.assign_walker(
+                *partition_, engine::waiting_vertex(app, rec.w));
+            inbox[owner].push_back(std::move(rec));
         }
 
         MigrationExchange<Record> exchange;
         std::vector<engine::RunStats> round_stats(n);
+        // Per-round, per-shard flush machinery.  events[s] and
+        // flush_seq[s] are touched only by shard s's pool thread during
+        // the round and read by the orchestrator after the fork-join
+        // barrier; staged_ collects consignments drained mid-round by
+        // any shard thread and needs the mutex.
+        std::vector<std::vector<FlushEvent>> events(n);
+        std::vector<std::uint64_t> flush_seq(n, 0);
+        std::vector<MigrationBatch<Record>> staged;
+        std::mutex staged_mutex;
+        const bool overlap = config_.shard_overlap && n > 1;
+        if (overlap) {
+            for (unsigned s = 0; s < n; ++s) {
+                shards_[s].engine->set_emigrant_sink(
+                    [this, &app, &exchange, &events, &flush_seq, &staged,
+                     &staged_mutex, s](std::vector<Record> &&out) {
+                        const FlushEvent e = bucket_and_post(
+                            app, exchange, s, std::move(out),
+                            flush_seq[s]++, false);
+                        if (e.batches > 0) {
+                            events[s].push_back(e);
+                        }
+                        // Stage consignments other shards already
+                        // posted while this shard is still stepping.
+                        std::vector<MigrationBatch<Record>> drained =
+                            exchange.collect();
+                        if (!drained.empty()) {
+                            std::lock_guard<std::mutex> lock(
+                                staged_mutex);
+                            staged.insert(
+                                staged.end(),
+                                std::make_move_iterator(drained.begin()),
+                                std::make_move_iterator(drained.end()));
+                        }
+                    });
+            }
+        }
+
         const auto live = [&] {
             for (const std::vector<Record> &box : inbox) {
                 if (!box.empty()) {
@@ -211,8 +273,14 @@ class ShardedEngine {
             for (engine::RunStats &rs : round_stats) {
                 rs = engine::RunStats{};
             }
-            // Fork: each shard runs its engine to local quiescence and
-            // posts its emigrants.  The pool's run() is the barrier.
+            for (unsigned s = 0; s < n; ++s) {
+                events[s].clear();
+                flush_seq[s] = 0;
+            }
+            // Fork: each shard runs its engine to local quiescence,
+            // flushing emigrants through its sink along the way
+            // (overlap mode), and posts any residue as a tail flush.
+            // The pool's run() is the barrier.
             shard_pool_.run(n, [&](std::size_t s) {
                 if (inbox[s].empty()) {
                     return;
@@ -225,30 +293,47 @@ class ShardedEngine {
                 round_stats[s] = shards_[s].engine->run_records(
                     app, std::move(records), seed, range.first_block,
                     range.end_block, &emigrants);
-                post_emigrants(app, exchange,
-                               static_cast<std::uint32_t>(s),
-                               std::move(emigrants));
+                const FlushEvent tail = bucket_and_post(
+                    app, exchange, static_cast<std::uint32_t>(s),
+                    std::move(emigrants), flush_seq[s]++, true);
+                if (tail.batches > 0) {
+                    events[s].push_back(tail);
+                }
             });
-            aggregate_round(total, round_stats);
+            const double round_span =
+                aggregate_round(total, round_stats);
+            charge_round_exchange(total, events, round_span, n);
 
-            // Barrier passed: deliver this round's batches and price
-            // the exchange.
-            std::uint64_t round_records = 0;
+            // Barrier passed: merge the staging pool with whatever is
+            // still in the exchange, restore the deterministic
+            // admission order, and deliver.  Per (src,dst) pair the
+            // seq-ascending concatenation is the src shard's outbox
+            // order, so the inboxes are byte-identical to the ones a
+            // single barrier post would have produced.
             std::vector<MigrationBatch<Record>> batches =
                 exchange.collect();
-            const std::uint64_t round_batches = batches.size();
+            {
+                std::lock_guard<std::mutex> lock(staged_mutex);
+                batches.insert(batches.end(),
+                               std::make_move_iterator(staged.begin()),
+                               std::make_move_iterator(staged.end()));
+                staged.clear();
+            }
+            std::sort(batches.begin(), batches.end(),
+                      MigrationExchange<Record>::admission_order);
             for (MigrationBatch<Record> &batch : batches) {
-                round_records += batch.records.size();
                 std::vector<Record> &dst = inbox[batch.dst];
                 dst.insert(dst.end(),
                            std::make_move_iterator(batch.records.begin()),
                            std::make_move_iterator(batch.records.end()));
             }
-            total.migrations += round_records;
-            total.migration_batches += round_batches;
-            total.migration_wait_seconds += cost_model.exchange_seconds(
-                round_records, round_batches, n);
         }
+        if (overlap) {
+            for (Shard &shard : shards_) {
+                shard.engine->set_emigrant_sink(nullptr);
+            }
+        }
+        exchange.assert_conserved();
         exchange.close();
         exchange_ = exchange.counters();
 
@@ -292,21 +377,38 @@ class ShardedEngine {
         }
     }
 
-    /** Bucket @p emigrants by destination shard (in outbox order) and
-     *  post the non-empty batches.  Runs on the shard's thread. */
-    void
-    post_emigrants(App &app, MigrationExchange<Record> &exchange,
-                   std::uint32_t src, std::vector<Record> emigrants)
+    /** One emigrant flush posted to the exchange: the unit the cost
+     *  model prices and windows (DESIGN.md §11). */
+    struct FlushEvent {
+        std::uint64_t records = 0;
+        std::uint64_t batches = 0;
+        /** Posted at shard quiescence — nothing left to step behind, so
+         *  the event gets no hiding window. */
+        bool tail = false;
+    };
+
+    /**
+     * Bucket @p emigrants by destination shard (in outbox order, via
+     * ShardPlan::assign_walker) and post the non-empty batches tagged
+     * with flush sequence @p seq.  Runs on the shard's thread; returns
+     * the event for the caller's flush log.
+     */
+    FlushEvent
+    bucket_and_post(App &app, MigrationExchange<Record> &exchange,
+                    std::uint32_t src, std::vector<Record> emigrants,
+                    std::uint64_t seq, bool tail)
     {
+        FlushEvent event;
+        event.tail = tail;
         if (emigrants.empty()) {
-            return;
+            return event;
         }
         const unsigned n = plan_.num_shards();
         std::vector<std::vector<Record>> by_dst(n);
         for (Record &rec : emigrants) {
-            const std::uint32_t b = partition_->block_of(
-                engine::waiting_vertex(app, rec.w));
-            by_dst[plan_.shard_of_block(b)].push_back(std::move(rec));
+            const unsigned owner = plan_.assign_walker(
+                *partition_, engine::waiting_vertex(app, rec.w));
+            by_dst[owner].push_back(std::move(rec));
         }
         std::vector<MigrationBatch<Record>> out;
         for (std::uint32_t d = 0; d < n; ++d) {
@@ -317,18 +419,65 @@ class ShardedEngine {
             batch.src = src;
             batch.dst = d;
             batch.round = rounds_;
+            batch.seq = seq;
+            event.records += by_dst[d].size();
             batch.records = std::move(by_dst[d]);
             out.push_back(std::move(batch));
         }
+        event.batches = out.size();
         exchange.post(std::move(out));
+        return event;
+    }
+
+    /**
+     * Price one round's flush events.  Each event costs
+     * flush_seconds(records, batches, n); the k-th (0-indexed) of a
+     * shard's K events gets a hiding window of (K-1-k)/K of the round
+     * span — flushes posted early in the round have nearly the whole
+     * round of stepping left to hide behind, the last one has none —
+     * and tail events (posted at quiescence) get no window at all.
+     * The hidden portion min(cost, window) lands in
+     * migration_overlap_seconds; only the residual is charged as
+     * migration_wait_seconds.  Barrier mode posts a single tail event
+     * per shard, so everything is residual and the charge equals the
+     * old full-cost barrier accounting (the model is linear in records
+     * and batches).
+     */
+    void
+    charge_round_exchange(
+        engine::RunStats &total,
+        const std::vector<std::vector<FlushEvent>> &events,
+        double round_span, unsigned n)
+    {
+        for (const std::vector<FlushEvent> &shard_events : events) {
+            const std::size_t count = shard_events.size();
+            for (std::size_t k = 0; k < count; ++k) {
+                const FlushEvent &e = shard_events[k];
+                total.migrations += e.records;
+                total.migration_batches += e.batches;
+                const double cost = cost_model.flush_seconds(
+                    e.records, e.batches, n);
+                const double window =
+                    e.tail ? 0.0
+                           : round_span *
+                                 static_cast<double>(count - 1 - k) /
+                                 static_cast<double>(count);
+                const double hidden = std::min(cost, window);
+                total.migration_wait_seconds += cost - hidden;
+                total.migration_overlap_seconds += hidden;
+            }
+        }
     }
 
     /**
      * Fold one round into @p total: counters sum across shards; the
      * time phases take the per-round maximum (shards run those phases
-     * concurrently) and the maxima sum across rounds.
+     * concurrently) and the maxima sum across rounds.  Returns the
+     * round span — the modeled seconds the round's stepping occupies,
+     * max(io/eff, cpu) + wait, i.e. the budget overlapped flushes can
+     * hide behind.
      */
-    void
+    double
     aggregate_round(engine::RunStats &total,
                     const std::vector<engine::RunStats> &round_stats)
     {
@@ -366,6 +515,7 @@ class ShardedEngine {
         for (std::size_t s = 0; s < round_stats.size(); ++s) {
             shard_totals_[s] += round_stats[s];
         }
+        return std::max(io / core::kAsyncIoEfficiency, cpu) + wait;
     }
 
     void

@@ -320,6 +320,7 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     s.migrations = 100;
     s.migration_batches = 10;
     s.migration_wait_seconds = 0.4;
+    s.migration_overlap_seconds = 0.8;
     s.presample_bytes_used = 1000;
     s.presample_bytes_total = 4000;
     s.peak_memory = 512;
@@ -333,6 +334,7 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     EXPECT_EQ(half.migrations, 50u);
     EXPECT_EQ(half.migration_batches, 5u);
     EXPECT_DOUBLE_EQ(half.migration_wait_seconds, 0.2);
+    EXPECT_DOUBLE_EQ(half.migration_overlap_seconds, 0.4);
     EXPECT_EQ(half.presample_bytes_used, 1000u)
         << "shared pool size is not divisible across tenants";
     EXPECT_EQ(half.presample_bytes_total, 4000u);
@@ -348,6 +350,7 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     other.migrations = 7;
     other.migration_batches = 2;
     other.migration_wait_seconds = 0.1;
+    other.migration_overlap_seconds = 0.05;
     other.presample_bytes_used = 3000;
     other.presample_bytes_total = 3000;
     other.peak_memory = 1024;
@@ -359,6 +362,7 @@ TEST(RunStats, ScaledAndAccumulateRoundTripNewerCounters)
     EXPECT_EQ(sum.migrations, 57u);
     EXPECT_EQ(sum.migration_batches, 7u);
     EXPECT_DOUBLE_EQ(sum.migration_wait_seconds, 0.3);
+    EXPECT_DOUBLE_EQ(sum.migration_overlap_seconds, 0.45);
     EXPECT_EQ(sum.presample_bytes_used, 3000u) << "max, not sum";
     EXPECT_EQ(sum.presample_bytes_total, 4000u) << "max, not sum";
     EXPECT_EQ(sum.peak_memory, 1024u) << "max, not sum";

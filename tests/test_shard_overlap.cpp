@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Overlapped shard migration and shard-local pre-sampling (DESIGN.md
+ * §11, "overlapped exchange").
+ *
+ * The load-bearing guarantee: flipping shard_overlap never changes
+ * walk output.  Per (src,dst) pair the seq-ascending concatenation of
+ * per-bucket flushes is exactly the barrier mode's single-batch
+ * content, and admission sorts staged consignments by (dst, src, seq),
+ * so the walker set entering every round is byte-identical in both
+ * modes — verified here bit for bit across {1,2,4} shards × {1,8}
+ * step threads for first-order and node2vec walks.
+ *
+ * Also covered: the modeled accounting (overlap hides wire time behind
+ * stepping: wait strictly lower, hidden portion visible, modeled time
+ * no worse), the exchange's deterministic admission order and per-pair
+ * conservation counters, locality-aware seeding, and the deterministic
+ * shard-local pre-sampling knob with the drying-regression
+ * distribution check.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/node2vec.hpp"
+#include "core/noswalker_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/partition.hpp"
+#include "shard/migration_exchange.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/sharded_engine.hpp"
+#include "storage/mem_device.hpp"
+#include "util/rng.hpp"
+
+namespace noswalker {
+namespace {
+
+/** First-order uniform walk recording endpoints + visit counts; thread
+ *  safe for concurrent shard stepping (per-walker slots, atomics). */
+class OverlapRecordingWalk {
+  public:
+    using WalkerT = engine::Walker;
+
+    OverlapRecordingWalk(std::uint32_t length,
+                         graph::VertexId num_vertices,
+                         std::uint64_t num_walkers)
+        : endpoints(num_walkers, graph::kInvalidVertex),
+          visits(num_vertices), length_(length),
+          num_vertices_(num_vertices)
+    {
+    }
+
+    WalkerT
+    generate(std::uint64_t n)
+    {
+        util::SplitMix64 mix(n * 31 + 5);
+        return WalkerT{
+            n, static_cast<graph::VertexId>(mix.next() % num_vertices_),
+            0};
+    }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return view.sample_uniform(rng);
+    }
+
+    bool active(const WalkerT &w) const { return w.step < length_; }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &)
+    {
+        w.location = next;
+        ++w.step;
+        endpoints[w.id] = next;
+        visits[next].fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    std::vector<graph::VertexId> endpoints;
+    std::vector<std::atomic<std::uint32_t>> visits;
+
+  private:
+    std::uint32_t length_;
+    graph::VertexId num_vertices_;
+};
+
+static_assert(engine::RandomWalkApp<OverlapRecordingWalk>);
+
+/** Node2Vec wrapper recording the endpoint of every accepted move. */
+class OverlapRecordingNode2Vec {
+  public:
+    using WalkerT = apps::Node2Vec::WalkerT;
+
+    OverlapRecordingNode2Vec(double p, double q, std::uint32_t length,
+                             graph::VertexId num_vertices,
+                             std::uint32_t walks_per_vertex)
+        : inner_(p, q, length, num_vertices, walks_per_vertex)
+    {
+        endpoints.assign(inner_.total_walkers(), graph::kInvalidVertex);
+    }
+
+    std::uint64_t total_walkers() const { return inner_.total_walkers(); }
+
+    WalkerT generate(std::uint64_t n) { return inner_.generate(n); }
+
+    graph::VertexId
+    sample(const graph::VertexView &view, util::Rng &rng)
+    {
+        return inner_.sample(view, rng);
+    }
+
+    bool active(const WalkerT &w) const { return inner_.active(w); }
+
+    bool
+    action(WalkerT &w, graph::VertexId next, util::Rng &rng)
+    {
+        return inner_.action(w, next, rng);
+    }
+
+    bool has_candidate(const WalkerT &w) const
+    {
+        return inner_.has_candidate(w);
+    }
+
+    graph::VertexId candidate(const WalkerT &w) const
+    {
+        return inner_.candidate(w);
+    }
+
+    bool
+    rejection(WalkerT &w, const graph::VertexView &view, util::Rng &rng)
+    {
+        const bool accepted = inner_.rejection(w, view, rng);
+        if (accepted) {
+            endpoints[w.id] = w.location;
+        }
+        return accepted;
+    }
+
+    std::vector<graph::VertexId> endpoints;
+
+  private:
+    apps::Node2Vec inner_;
+};
+
+static_assert(engine::SecondOrderApp<OverlapRecordingNode2Vec>);
+
+class MigrationOverlapTest : public testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        graph_ = graph::generate_rmat(
+            {.scale = 9, .edge_factor = 8, .a = 0.57, .b = 0.19,
+             .c = 0.19, .seed = 23, .symmetrize = true,
+             .weighted = false});
+        graph::GraphFile::write(graph_, device_);
+        file_ = std::make_unique<graph::GraphFile>(device_);
+        partition_ = std::make_unique<graph::BlockPartition>(
+            *file_, file_->edge_region_bytes() / 8);
+    }
+
+    core::EngineConfig
+    config(unsigned shards, unsigned threads, bool overlap) const
+    {
+        core::EngineConfig cfg =
+            core::EngineConfig::full(0, partition_->max_block_bytes());
+        cfg.num_shards = shards;
+        cfg.step_threads = threads;
+        cfg.shard_overlap = overlap;
+        return cfg;
+    }
+
+    graph::CsrGraph graph_;
+    storage::MemDevice device_;
+    std::unique_ptr<graph::GraphFile> file_;
+    std::unique_ptr<graph::BlockPartition> partition_;
+};
+
+TEST_F(MigrationOverlapTest, BasicWalkBitIdenticalBarrierVsOverlapped)
+{
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 24;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::vector<std::uint32_t>> visits;
+    std::vector<std::uint64_t> steps;
+    for (const bool overlap : {false, true}) {
+        for (const unsigned shards : {1u, 2u, 4u}) {
+            for (const unsigned threads : {1u, 8u}) {
+                OverlapRecordingWalk app(kLength, file_->num_vertices(),
+                                         kWalkers);
+                shard::ShardedEngine<OverlapRecordingWalk> eng(
+                    *file_, *partition_,
+                    config(shards, threads, overlap));
+                const auto stats = eng.run(app, kWalkers);
+                endpoints.push_back(app.endpoints);
+                std::vector<std::uint32_t> v(app.visits.size());
+                for (std::size_t i = 0; i < v.size(); ++i) {
+                    v[i] = app.visits[i].load();
+                }
+                visits.push_back(std::move(v));
+                steps.push_back(stats.steps);
+            }
+        }
+    }
+    EXPECT_GT(steps[0], 0u);
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+        EXPECT_EQ(visits[t], visits[0]) << "config " << t;
+    }
+}
+
+TEST_F(MigrationOverlapTest, Node2VecBitIdenticalBarrierVsOverlapped)
+{
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::uint64_t> steps;
+    std::vector<std::uint64_t> trials;
+    for (const bool overlap : {false, true}) {
+        for (const unsigned shards : {1u, 2u, 4u}) {
+            for (const unsigned threads : {1u, 8u}) {
+                OverlapRecordingNode2Vec app(2.0, 0.5, 12,
+                                             file_->num_vertices(), 2);
+                shard::ShardedEngine<OverlapRecordingNode2Vec> eng(
+                    *file_, *partition_,
+                    config(shards, threads, overlap));
+                const auto stats = eng.run(app, app.total_walkers());
+                endpoints.push_back(app.endpoints);
+                steps.push_back(stats.steps);
+                trials.push_back(stats.rejection_trials);
+            }
+        }
+    }
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(trials[t], trials[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+    }
+}
+
+TEST_F(MigrationOverlapTest, OverlapHidesWaitOnSlowDevice)
+{
+    // I/O-bound regime: the round span is long, so per-bucket flushes
+    // have plenty of stepping to hide behind.
+    storage::SsdModel slow = storage::SsdModel::p4618();
+    slow.seq_bandwidth /= 2048.0;
+    slow.iops /= 2048.0;
+    storage::MemDevice slow_device(slow);
+    graph::GraphFile::write(graph_, slow_device);
+    graph::GraphFile slow_file(slow_device);
+    graph::BlockPartition slow_partition(
+        slow_file, slow_file.edge_region_bytes() / 8);
+
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 16;
+
+    engine::RunStats by_mode[2];
+    std::vector<graph::VertexId> reference;
+    for (const bool overlap : {false, true}) {
+        OverlapRecordingWalk app(kLength, slow_file.num_vertices(),
+                                 kWalkers);
+        core::EngineConfig cfg = core::EngineConfig::full(
+            0, slow_partition.max_block_bytes());
+        cfg.num_shards = 4;
+        cfg.step_threads = 2;
+        cfg.shard_overlap = overlap;
+        shard::ShardedEngine<OverlapRecordingWalk> eng(
+            slow_file, slow_partition, cfg);
+        by_mode[overlap ? 1 : 0] = eng.run(app, kWalkers);
+        if (reference.empty()) {
+            reference = app.endpoints;
+        } else {
+            EXPECT_EQ(app.endpoints, reference);
+        }
+    }
+    const engine::RunStats &barrier = by_mode[0];
+    const engine::RunStats &overlapped = by_mode[1];
+
+    // Same walk, same traffic.
+    EXPECT_EQ(overlapped.migrations, barrier.migrations);
+    EXPECT_GT(barrier.migrations, 0u);
+
+    // Barrier mode hides nothing; overlap hides a visible portion and
+    // charges strictly less wait, so the modeled total can only drop.
+    EXPECT_EQ(barrier.migration_overlap_seconds, 0.0);
+    EXPECT_GT(overlapped.migration_overlap_seconds, 0.0);
+    EXPECT_LT(overlapped.migration_wait_seconds,
+              barrier.migration_wait_seconds);
+    EXPECT_LE(overlapped.modeled_seconds(), barrier.modeled_seconds());
+}
+
+TEST_F(MigrationOverlapTest, StagedAdmissionOrderIsDeterministic)
+{
+    // Post consignments in a scrambled arrival order (as concurrent
+    // shard threads would) and check the admission sort restores the
+    // (dst, src, seq) sequence — per (src,dst) pair, flush order.
+    shard::MigrationExchange<int> exchange;
+    using Batch = shard::MigrationBatch<int>;
+    std::vector<Batch> posted;
+    const auto mk = [](std::uint32_t src, std::uint32_t dst,
+                       std::uint64_t seq, std::vector<int> recs) {
+        Batch b;
+        b.src = src;
+        b.dst = dst;
+        b.seq = seq;
+        b.records = std::move(recs);
+        return b;
+    };
+    posted.push_back(mk(2, 0, 1, {20, 21}));
+    posted.push_back(mk(1, 1, 0, {10}));
+    posted.push_back(mk(2, 0, 0, {22}));
+    posted.push_back(mk(0, 1, 2, {1, 2}));
+    posted.push_back(mk(0, 1, 0, {3}));
+    exchange.post(std::move(posted));
+
+    std::vector<Batch> staged = exchange.collect();
+    std::sort(staged.begin(), staged.end(),
+              shard::MigrationExchange<int>::admission_order);
+
+    ASSERT_EQ(staged.size(), 5u);
+    // dst 0: src 2 in seq order 0, 1.
+    EXPECT_EQ(staged[0].records, (std::vector<int>{22}));
+    EXPECT_EQ(staged[1].records, (std::vector<int>{20, 21}));
+    // dst 1: src 0 (seq 0 then 2), then src 1.
+    EXPECT_EQ(staged[2].records, (std::vector<int>{3}));
+    EXPECT_EQ(staged[3].records, (std::vector<int>{1, 2}));
+    EXPECT_EQ(staged[4].records, (std::vector<int>{10}));
+
+    exchange.assert_conserved();
+}
+
+TEST_F(MigrationOverlapTest, PairwiseConservationCounters)
+{
+    // Direct exchange check: per-(src,dst) flows balance.
+    shard::MigrationExchange<int> exchange;
+    using Batch = shard::MigrationBatch<int>;
+    std::vector<Batch> first;
+    first.push_back({.src = 0, .dst = 1, .records = {1, 2, 3}});
+    first.push_back({.src = 0, .dst = 2, .records = {4}});
+    exchange.post(std::move(first));
+    std::vector<Batch> second;
+    second.push_back({.src = 2, .dst = 1, .records = {5, 6}});
+    exchange.post(std::move(second));
+    (void)exchange.collect();
+    exchange.assert_conserved();
+
+    const auto flows = exchange.pair_flows();
+    ASSERT_EQ(flows.size(), 3u);
+    const auto &f01 = flows.at({0u, 1u});
+    EXPECT_EQ(f01.posted_records, 3u);
+    EXPECT_EQ(f01.delivered_records, 3u);
+    EXPECT_EQ(f01.posted_batches, 1u);
+    EXPECT_EQ(f01.delivered_batches, 1u);
+    const auto &f21 = flows.at({2u, 1u});
+    EXPECT_EQ(f21.posted_records, 2u);
+    EXPECT_EQ(f21.delivered_records, 2u);
+
+    // End to end: a 4-shard overlapped run balances every pair too.
+    OverlapRecordingWalk app(20, file_->num_vertices(), 500);
+    shard::ShardedEngine<OverlapRecordingWalk> eng(
+        *file_, *partition_, config(4, 2, true));
+    const auto stats = eng.run(app, 500);
+    EXPECT_GT(stats.migrations, 0u);
+    const shard::ExchangeCounters &xc = eng.exchange_counters();
+    EXPECT_EQ(xc.posted_records, xc.delivered_records);
+    EXPECT_EQ(xc.posted_batches, xc.delivered_batches);
+    EXPECT_EQ(stats.migrations, xc.delivered_records);
+}
+
+TEST_F(MigrationOverlapTest, LocalitySeedingStartsWalkersOnOwnerShard)
+{
+    const shard::ShardPlan plan(*partition_, 4);
+    for (graph::VertexId v = 0; v < file_->num_vertices(); v += 7) {
+        EXPECT_EQ(plan.assign_walker(*partition_, v),
+                  plan.shard_of_block(partition_->block_of(v)));
+    }
+    // Documented fallback spreads by index, no locality promise.
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(plan.assign_walker_round_robin(i),
+                  i % plan.num_shards());
+    }
+
+    // Zero-length walkers retire where they were seeded: locality
+    // seeding means round 1 exists and nothing ever migrates.
+    OverlapRecordingWalk app(0, file_->num_vertices(), 400);
+    shard::ShardedEngine<OverlapRecordingWalk> eng(
+        *file_, *partition_, config(4, 2, true));
+    const auto stats = eng.run(app, 400);
+    EXPECT_EQ(stats.migrations, 0u);
+    EXPECT_EQ(stats.migration_wait_seconds, 0.0);
+    EXPECT_EQ(eng.rounds(), 1u);
+    EXPECT_EQ(stats.walkers, 400u);
+}
+
+class ShardPresampleTest : public MigrationOverlapTest {};
+
+TEST_F(ShardPresampleTest, DeterministicAcrossThreadsAndOverlapModes)
+{
+    // With shard_presample on, output is a pure function of
+    // (seed, shard plan): fixing the shard count, every thread count
+    // and both migration modes agree bit for bit — and pre-samples
+    // actually serve steps.
+    constexpr std::uint64_t kWalkers = 600;
+    constexpr std::uint32_t kLength = 24;
+    std::vector<std::vector<graph::VertexId>> endpoints;
+    std::vector<std::uint64_t> steps;
+    for (const bool overlap : {false, true}) {
+        for (const unsigned threads : {1u, 8u}) {
+            OverlapRecordingWalk app(kLength, file_->num_vertices(),
+                                     kWalkers);
+            core::EngineConfig cfg = config(2, threads, overlap);
+            cfg.shard_presample = true;
+            shard::ShardedEngine<OverlapRecordingWalk> eng(
+                *file_, *partition_, cfg);
+            const auto stats = eng.run(app, kWalkers);
+            endpoints.push_back(app.endpoints);
+            steps.push_back(stats.steps);
+            EXPECT_GT(stats.presample_steps, 0u)
+                << "shard presample never kicked in";
+        }
+    }
+    for (std::size_t t = 1; t < endpoints.size(); ++t) {
+        EXPECT_EQ(steps[t], steps[0]) << "config " << t;
+        EXPECT_EQ(endpoints[t], endpoints[0]) << "config " << t;
+    }
+}
+
+TEST_F(ShardPresampleTest, OffByDefaultInShardRounds)
+{
+    // The cross-shard-count bit-identity contract of num_shards
+    // requires the default to keep pre-sampling out of shard rounds.
+    OverlapRecordingWalk app(16, file_->num_vertices(), 400);
+    shard::ShardedEngine<OverlapRecordingWalk> eng(
+        *file_, *partition_, config(2, 2, true));
+    const auto stats = eng.run(app, 400);
+    EXPECT_EQ(stats.presample_steps, 0u);
+}
+
+TEST_F(ShardPresampleTest, EndpointDistributionUniformOnComplete)
+{
+    // Drying-regression mirror (PR 2): pre-sample reservoirs must not
+    // skew the walk distribution as they drain.  Complete graph of 8,
+    // many walkers through sharded engines with shard_presample on —
+    // endpoints stay uniform.
+    graph::CsrGraph complete = graph::generate_complete(8);
+    storage::MemDevice dev;
+    graph::GraphFile::write(complete, dev);
+    graph::GraphFile file(dev);
+    // Small blocks so the plan can actually split into 2 shards.
+    graph::BlockPartition partition(file, 64);
+    ASSERT_GE(partition.num_blocks(), 2u);
+
+    constexpr std::uint64_t kWalkers = 4000;
+    OverlapRecordingWalk app(4, 8, kWalkers);
+    core::EngineConfig cfg = core::EngineConfig::full(0, 64);
+    cfg.num_shards = 2;
+    cfg.shard_presample = true;
+    cfg.seed = 99;
+    shard::ShardedEngine<OverlapRecordingWalk> eng(file, partition, cfg);
+    const auto stats = eng.run(app, kWalkers);
+    EXPECT_GT(stats.presample_steps, 0u);
+
+    std::vector<int> counts(8, 0);
+    for (const graph::VertexId v : app.endpoints) {
+        ASSERT_NE(v, graph::kInvalidVertex);
+        ++counts[v];
+    }
+    const double n = static_cast<double>(kWalkers);
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double expected = n / 8.0;
+        chi2 += (c - expected) * (c - expected) / expected;
+    }
+    // 7 dof, alpha = 0.001 => 24.32; loose cap for mixing effects.
+    EXPECT_LT(chi2, 40.0);
+}
+
+} // namespace
+} // namespace noswalker

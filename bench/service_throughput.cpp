@@ -13,6 +13,7 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,23 @@ main(int argc, char **argv)
     using namespace noswalker::bench;
 
     JsonReporter json = JsonReporter::from_args(argc, argv);
+    // --slo-p99 <seconds>: gate the sweep on modeled tail latency.
+    // Any point whose p99 exceeds the threshold fails the run (exit 1),
+    // so CI can hold the serving layer to a latency objective the same
+    // way it holds correctness to the test suite.
+    double slo_p99 = 0.0;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--slo-p99") {
+            slo_p99 = std::strtod(argv[i + 1], nullptr);
+            if (slo_p99 <= 0.0) {
+                std::fprintf(stderr,
+                             "--slo-p99 needs a positive threshold "
+                             "in seconds, got %s\n",
+                             argv[i + 1]);
+                return 2;
+            }
+        }
+    }
     BenchEnv env;
     GraphHandle &handle = env.get(graph::DatasetId::kKron30);
     std::printf("walk service throughput on %s (scale %u): "
@@ -168,6 +186,7 @@ main(int argc, char **argv)
 
     const std::size_t kRequests = 96;
     const auto workload = make_workload(handle, kRequests);
+    std::vector<std::string> slo_violations;
 
     print_table_header(
         "Closed-loop sweep (" + std::to_string(kRequests) + " requests)",
@@ -224,11 +243,33 @@ main(int argc, char **argv)
                 r.extras.emplace_back("shard_p99_modeled_seconds",
                                       p.shard_p99);
                 json.add(std::move(r));
+                if (slo_p99 > 0.0 && p.p99 > slo_p99) {
+                    slo_violations.push_back(
+                        "workers=" + std::to_string(p.workers) +
+                        " max_batch=" + std::to_string(p.max_batch) +
+                        " shards=" + std::to_string(p.shards) +
+                        " p99=" + fmt_double(p.p99, 4) + "s");
+                }
             }
         }
     }
     std::printf("\nbatching trades per-request latency for shared block "
                 "loads; extra workers raise throughput until the shared "
                 "budget (or the device) saturates.\n");
+    if (slo_p99 > 0.0) {
+        if (!slo_violations.empty()) {
+            std::fprintf(stderr,
+                         "\nSLO VIOLATION: %zu sweep point(s) exceed "
+                         "the p99 modeled-latency objective of %.4fs:\n",
+                         slo_violations.size(), slo_p99);
+            for (const std::string &v : slo_violations) {
+                std::fprintf(stderr, "  %s\n", v.c_str());
+            }
+            return 1;
+        }
+        std::printf("\nall sweep points meet the p99 modeled-latency "
+                    "objective of %.4fs.\n",
+                    slo_p99);
+    }
     return 0;
 }

@@ -13,10 +13,12 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel, load planner) =="
+echo "== tier 1: ThreadSanitizer (service, queue, step pool, parallel stepping, prefetch, shards, step kernel, load planner, traffic fuzz) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target noswalker_tests
-ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|MigrationOverlap|ShardPresample|StepKernel|LoadPlanner|PlanWindow' --output-on-failure
+# The 50-seed fuzz sweep stays in the full (fast) build; TSan runs the
+# reduced seed sweep (TrafficModel.ReducedSeedSweepHoldsInvariants).
+ctest --test-dir build-tsan -R 'Service|BlockingQueue|ThreadPool|ParallelStep|Prefetch|AsyncLoader|Reorder|SharedBlockCache|Sharded|Migration|MigrationOverlap|ShardPresample|StepKernel|LoadPlanner|PlanWindow|TrafficModel|Backpressure' -E 'FiftySeeded' --output-on-failure
 
 echo
 echo "== tier 1: prefetch smoke (reorder-window + depth ablations) =="
@@ -39,6 +41,10 @@ ctest --test-dir build -R 'StepKernel|AliasTableBatch' --output-on-failure -j "$
 echo
 echo "== tier 1: plan-window smoke (greedy passthrough + bit-identity across windows) =="
 ctest --test-dir build -R 'LoadPlanner|PlanWindow' --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: service-traffic fuzz smoke (seeded episodes + conservation invariants + tenant backpressure) =="
+ctest --test-dir build -R 'FuzzService|TrafficModel|Backpressure' --output-on-failure -j "$JOBS"
 
 echo
 echo "tier 1 passed"

@@ -19,6 +19,17 @@ struct ServiceConfig {
     /** Submission queue bound; try_push beyond it rejects (0 = unbounded). */
     std::size_t max_queue = 1024;
 
+    /**
+     * Per-tenant backpressure bound: the most requests one tenant may
+     * have in flight (admitted to the submission queue but not yet
+     * terminal) before further submissions from that tenant are shed
+     * with kRejectedTenantQueue (0 = unbounded).  Bounds how much of
+     * the global max_queue — and of the dispatcher/worker pipeline —
+     * one tenant's burst can occupy, so a noisy tenant cannot starve
+     * the rest of admission.
+     */
+    std::size_t tenant_max_queue = 0;
+
     /** Max requests coalesced into one engine run. */
     std::size_t max_batch = 16;
 

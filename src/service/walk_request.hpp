@@ -67,6 +67,9 @@ enum class WalkStatus : std::uint8_t {
     kOk,
     /** Submission queue was full. */
     kRejectedQueueFull,
+    /** Load-shed: the tenant already had tenant_max_queue requests in
+     *  flight (admitted but not yet terminal). */
+    kRejectedTenantQueue,
     /** The request can never (or right now, in reject mode) fit the
      *  service memory budget. */
     kRejectedBudget,

@@ -83,6 +83,8 @@ to_string(WalkStatus status)
         return "ok";
     case WalkStatus::kRejectedQueueFull:
         return "rejected-queue-full";
+    case WalkStatus::kRejectedTenantQueue:
+        return "rejected-tenant-queue";
     case WalkStatus::kRejectedBudget:
         return "rejected-budget";
     case WalkStatus::kDeadlineExpired:
@@ -278,6 +280,9 @@ WalkService::count_terminal(WalkStatus status)
     case WalkStatus::kRejectedQueueFull:
         rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
         break;
+    case WalkStatus::kRejectedTenantQueue:
+        rejected_tenant_queue_.fetch_add(1, std::memory_order_relaxed);
+        break;
     case WalkStatus::kRejectedBudget:
         rejected_budget_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -293,10 +298,40 @@ WalkService::count_terminal(WalkStatus status)
     }
 }
 
+bool
+WalkService::acquire_tenant_slot(std::uint64_t tenant)
+{
+    if (config_.tenant_max_queue == 0) {
+        return true;
+    }
+    std::lock_guard lock(tenant_queue_mutex_);
+    std::size_t &in_flight = tenant_in_flight_[tenant];
+    if (in_flight >= config_.tenant_max_queue) {
+        return false;
+    }
+    ++in_flight;
+    return true;
+}
+
+void
+WalkService::release_tenant_slot(Pending &pending)
+{
+    if (!pending.tenant_slot) {
+        return;
+    }
+    pending.tenant_slot = false;
+    std::lock_guard lock(tenant_queue_mutex_);
+    std::size_t &in_flight = tenant_in_flight_[pending.request.tenant];
+    if (in_flight > 0) {
+        --in_flight;
+    }
+}
+
 void
 WalkService::finish_rejected(Pending pending, WalkStatus status,
                              const std::string &error)
 {
+    release_tenant_slot(pending);
     WalkResult result;
     result.status = status;
     result.error = error;
@@ -341,11 +376,41 @@ WalkService::submit(WalkRequest request)
         }
     }
 
-    const bool was_closed = submit_queue_.closed();
-    if (!submit_queue_.try_push(std::move(pending))) {
-        // try_push consumed pending; reconstruct the terminal result.
+    // Per-tenant backpressure: shed before touching the global queue,
+    // so one tenant's burst cannot occupy max_queue for everyone.
+    if (config_.tenant_max_queue > 0) {
+        if (!acquire_tenant_slot(pending.request.tenant)) {
+            finish_rejected(std::move(pending),
+                            WalkStatus::kRejectedTenantQueue,
+                            "tenant " +
+                                std::to_string(pending.request.tenant) +
+                                " is at its in-flight bound (" +
+                                std::to_string(config_.tenant_max_queue) +
+                                ")");
+            return WalkTicket(id, std::move(future));
+        }
+        pending.tenant_slot = true;
+    }
+
+    const std::uint64_t tenant = pending.request.tenant;
+    const bool held_slot = pending.tenant_slot;
+    // The outcome is decided under the queue lock, so a close() racing
+    // this push can never misreport shutdown as queue-full (or vice
+    // versa): kClosed iff the close happened first.
+    const util::PushOutcome outcome =
+        submit_queue_.try_push_result(std::move(pending));
+    if (outcome != util::PushOutcome::kPushed) {
+        // try_push_result consumed pending; reconstruct the terminal
+        // result (and return the tenant slot it carried).
+        if (held_slot) {
+            std::lock_guard lock(tenant_queue_mutex_);
+            std::size_t &in_flight = tenant_in_flight_[tenant];
+            if (in_flight > 0) {
+                --in_flight;
+            }
+        }
         WalkResult result;
-        result.status = was_closed || submit_queue_.closed()
+        result.status = outcome == util::PushOutcome::kClosed
                             ? WalkStatus::kShutdown
                             : WalkStatus::kRejectedQueueFull;
         result.error = result.status == WalkStatus::kShutdown
@@ -508,28 +573,72 @@ WalkService::run_batch(Batch &batch, BatchRunner &runner)
         return;
     }
 
-    ServiceWalkApp app;
-    std::uint64_t result_bytes = 0;
-    for (const Pending &pending : live.requests) {
-        app.add_request(pending.request);
-        result_bytes += estimate_request_bytes(pending.request);
-    }
+    auto result_bytes_of = [](const Batch &b) {
+        std::uint64_t total = 0;
+        for (const Pending &p : b.requests) {
+            total += estimate_request_bytes(p.request);
+        }
+        return total;
+    };
 
     // Charge the result buffers to the shared budget for the lifetime
     // of the run; walkers/buffers are charged by the engine itself.
+    // Each wait is clamped to the batch's tightest remaining deadline:
+    // a request whose deadline lapses while blocked on the budget is
+    // expired here (deadline-expired), never run late.
+    std::uint64_t result_bytes = result_bytes_of(live);
     bool charged = false;
     if (budget_.limit() != 0 && result_bytes > 0) {
         for (unsigned attempt = 0;
              attempt <= config_.budget_retry_limit && !charged;
              ++attempt) {
+            double wait = config_.budget_wait_seconds;
+            const auto now = Clock::now();
+            for (const Pending &p : live.requests) {
+                const double d = p.request.deadline_seconds;
+                if (d > 0.0) {
+                    wait = std::min(
+                        wait, d - elapsed_seconds(p.submitted, now));
+                }
+            }
             charged = budget_.reserve_wait(result_bytes,
-                                           config_.budget_wait_seconds);
+                                           std::max(wait, 0.0));
+            if (charged) {
+                break;
+            }
+            // Expire requests whose deadline lapsed while we blocked;
+            // the survivors retry with a smaller reservation.
+            const auto after = Clock::now();
+            Batch still;
+            still.id = live.id;
+            still.requests.reserve(live.requests.size());
+            for (Pending &p : live.requests) {
+                const double d = p.request.deadline_seconds;
+                if (d > 0.0 &&
+                    elapsed_seconds(p.submitted, after) > d) {
+                    finish_rejected(
+                        std::move(p), WalkStatus::kDeadlineExpired,
+                        "deadline expired waiting for memory");
+                } else {
+                    still.requests.push_back(std::move(p));
+                }
+            }
+            live.requests = std::move(still.requests);
+            if (live.requests.empty()) {
+                return;
+            }
+            result_bytes = result_bytes_of(live);
         }
         if (!charged) {
             fail_batch(live, WalkStatus::kRejectedBudget,
                        "timed out waiting for result-buffer memory");
             return;
         }
+    }
+
+    ServiceWalkApp app;
+    for (const Pending &pending : live.requests) {
+        app.add_request(pending.request);
     }
 
     // The engine seed only drives scheduling-internal choices; request
@@ -662,7 +771,9 @@ WalkService::run_batch(Batch &batch, BatchRunner &runner)
         {
             std::lock_guard lock(tenant_mutex_);
             tenant_stats_[pending.request.tenant] += result.stats;
+            total_stats_ += result.stats;
         }
+        release_tenant_slot(pending);
         count_terminal(WalkStatus::kOk);
         pending.promise.set_value(std::move(result));
     }
@@ -685,6 +796,12 @@ WalkService::stop()
                 worker.join();
             }
         }
+        // A stopped service serves nothing: drop cached blocks so
+        // their budget reservations drain to zero with everything
+        // else (the post-close conservation invariant).
+        if (cache_) {
+            cache_->clear();
+        }
     });
 }
 
@@ -697,6 +814,8 @@ WalkService::counters() const
     c.failed = failed_.load(std::memory_order_relaxed);
     c.rejected_queue_full =
         rejected_queue_full_.load(std::memory_order_relaxed);
+    c.rejected_tenant_queue =
+        rejected_tenant_queue_.load(std::memory_order_relaxed);
     c.rejected_budget = rejected_budget_.load(std::memory_order_relaxed);
     c.expired = expired_.load(std::memory_order_relaxed);
     c.shutdown_dropped =
@@ -718,6 +837,20 @@ WalkService::tenant_stats(std::uint64_t tenant) const
     std::lock_guard lock(tenant_mutex_);
     const auto it = tenant_stats_.find(tenant);
     return it != tenant_stats_.end() ? it->second : engine::RunStats{};
+}
+
+std::unordered_map<std::uint64_t, engine::RunStats>
+WalkService::all_tenant_stats() const
+{
+    std::lock_guard lock(tenant_mutex_);
+    return tenant_stats_;
+}
+
+engine::RunStats
+WalkService::aggregate_stats() const
+{
+    std::lock_guard lock(tenant_mutex_);
+    return total_stats_;
 }
 
 std::vector<double>

@@ -58,6 +58,8 @@ class WalkService {
         std::uint64_t completed = 0;
         std::uint64_t failed = 0;
         std::uint64_t rejected_queue_full = 0;
+        /** Load-shed by the per-tenant bound (tenant_max_queue). */
+        std::uint64_t rejected_tenant_queue = 0;
         std::uint64_t rejected_budget = 0;
         std::uint64_t expired = 0;
         std::uint64_t shutdown_dropped = 0;
@@ -107,6 +109,23 @@ class WalkService {
     /** Aggregated per-tenant run stats (RunStats slices summed). */
     engine::RunStats tenant_stats(std::uint64_t tenant) const;
 
+    /** Every tenant's aggregated stats (snapshot). */
+    std::unordered_map<std::uint64_t, engine::RunStats>
+    all_tenant_stats() const;
+
+    /**
+     * Service-wide aggregate of every completed request's stats slice.
+     * Invariant (the traffic fuzzer's conservation check): equals the
+     * sum of all_tenant_stats() entries at all times.
+     */
+    engine::RunStats aggregate_stats() const;
+
+    /** Requests sitting in the submission queue (0 after stop()). */
+    std::size_t submit_queue_depth() const { return submit_queue_.size(); }
+
+    /** Coalesced batches awaiting a worker (0 after stop()). */
+    std::size_t batch_queue_depth() const { return batch_queue_.size(); }
+
     /**
      * Per-shard modeled-seconds samples: one per shard per sharded
      * batch run (empty when num_shards == 1).  The benches compute
@@ -135,6 +154,9 @@ class WalkService {
         std::promise<WalkResult> promise;
         std::uint64_t id = 0;
         Clock::time_point submitted;
+        /** Holds a per-tenant in-flight slot that must be returned
+         *  when the request reaches its terminal status. */
+        bool tenant_slot = false;
     };
 
     /** A coalesced gang of requests bound for one engine run. */
@@ -162,6 +184,15 @@ class WalkService {
 
     /** Bump the terminal counter matching @p status. */
     void count_terminal(WalkStatus status);
+
+    /**
+     * Try to take an in-flight slot for @p tenant (tenant_max_queue).
+     * @return false when the tenant is at its bound (shed the request).
+     */
+    bool acquire_tenant_slot(std::uint64_t tenant);
+
+    /** Return @p pending's tenant slot, if it holds one. */
+    void release_tenant_slot(Pending &pending);
 
     void dispatcher_loop();
     void flush_group(Group &group);
@@ -196,6 +227,7 @@ class WalkService {
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> failed_{0};
     std::atomic<std::uint64_t> rejected_queue_full_{0};
+    std::atomic<std::uint64_t> rejected_tenant_queue_{0};
     std::atomic<std::uint64_t> rejected_budget_{0};
     std::atomic<std::uint64_t> expired_{0};
     std::atomic<std::uint64_t> shutdown_dropped_{0};
@@ -204,6 +236,13 @@ class WalkService {
 
     mutable std::mutex tenant_mutex_;
     std::unordered_map<std::uint64_t, engine::RunStats> tenant_stats_;
+    /** Sum of every completed request's stats slice (conservation
+     *  twin of tenant_stats_; updated under tenant_mutex_). */
+    engine::RunStats total_stats_;
+
+    /** Per-tenant in-flight request counts (tenant_max_queue > 0). */
+    mutable std::mutex tenant_queue_mutex_;
+    std::unordered_map<std::uint64_t, std::size_t> tenant_in_flight_;
 
     mutable std::mutex shard_mutex_;
     std::vector<double> shard_modeled_samples_;

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -26,6 +27,22 @@
 #include <vector>
 
 namespace noswalker::util {
+
+/**
+ * Why a non-blocking push failed (or did not).
+ *
+ * try_push's bool return conflates "full" with "closed"; callers that
+ * must report the rejection reason (the walk service's submission
+ * path) use try_push_result, which decides under the queue lock and is
+ * therefore race-free against a concurrent close().
+ */
+enum class PushOutcome : std::uint8_t {
+    kPushed,
+    /** The queue was at capacity (and not closed). */
+    kFull,
+    /** close() had been called; the queue accepts nothing ever again. */
+    kClosed,
+};
 
 /** Bounded FIFO with blocking push/pop and cooperative shutdown. */
 template <typename T>
@@ -58,13 +75,28 @@ class BlockingQueue {
     bool
     try_push(T value)
     {
+        return try_push_result(std::move(value)) == PushOutcome::kPushed;
+    }
+
+    /**
+     * Non-blocking push reporting *why* it failed.  The outcome is
+     * decided under the queue lock, so "full" and "closed" can never be
+     * conflated by a close() racing the push: kClosed is returned iff
+     * close() happened-before this call took the lock.
+     */
+    PushOutcome
+    try_push_result(T value)
+    {
         std::lock_guard lock(mutex_);
-        if (closed_ || !has_room()) {
-            return false;
+        if (closed_) {
+            return PushOutcome::kClosed;
+        }
+        if (!has_room()) {
+            return PushOutcome::kFull;
         }
         queue_.push_back(std::move(value));
         not_empty_.notify_one();
-        return true;
+        return PushOutcome::kPushed;
     }
 
     /**

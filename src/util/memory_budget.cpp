@@ -31,12 +31,24 @@ MemoryBudget::try_reserve(std::uint64_t bytes)
 {
     std::uint64_t cur = used_.load(std::memory_order_relaxed);
     for (;;) {
-        const std::uint64_t next = cur + bytes;
-        if (limit_ != 0 && next > limit_) {
+        // Saturating add: cur + bytes can wrap near UINT64_MAX, which
+        // would corrupt used_/peak_ (and, under a nonzero limit, slip
+        // a giant reservation past the cap with a tiny wrapped sum).
+        std::uint64_t next = cur + bytes;
+        const bool wrapped = next < cur;
+        if (limit_ != 0 && (wrapped || next > limit_)) {
             return false;
+        }
+        if (wrapped) {
+            next = std::numeric_limits<std::uint64_t>::max();
         }
         if (used_.compare_exchange_weak(cur, next,
                                         std::memory_order_relaxed)) {
+            if (wrapped) {
+                // The accountant lost bytes to saturation; releases
+                // must clamp instead of asserting exact pairing.
+                saturated_.store(true, std::memory_order_relaxed);
+            }
             bump_peak(next);
             return true;
         }
@@ -74,6 +86,21 @@ MemoryBudget::reserve_wait(std::uint64_t bytes, double timeout_seconds)
 void
 MemoryBudget::release(std::uint64_t bytes)
 {
+    if (saturated_.load(std::memory_order_relaxed)) {
+        // Exact pairing is gone once a reservation saturated; clamp at
+        // zero so the drain invariant (used() == 0 when every holder
+        // released) still holds.
+        std::uint64_t cur = used_.load(std::memory_order_relaxed);
+        while (!used_.compare_exchange_weak(
+            cur, cur >= bytes ? cur - bytes : 0,
+            std::memory_order_relaxed)) {
+        }
+        if (waiters_.load(std::memory_order_relaxed) > 0) {
+            std::lock_guard lock(wait_mutex_);
+            released_.notify_all();
+        }
+        return;
+    }
     const std::uint64_t prev =
         used_.fetch_sub(bytes, std::memory_order_relaxed);
     NOSWALKER_CHECK(prev >= bytes);

@@ -91,6 +91,9 @@ class MemoryBudget {
     std::uint64_t limit_;
     std::atomic<std::uint64_t> used_{0};
     std::atomic<std::uint64_t> peak_{0};
+    /** Set when an unlimited-budget reservation saturated used_ at
+     *  UINT64_MAX; releases then clamp instead of asserting pairing. */
+    std::atomic<bool> saturated_{false};
 
     /** Waiter support for reserve_wait; the fast paths never lock. */
     std::atomic<int> waiters_{0};

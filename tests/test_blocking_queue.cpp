@@ -54,6 +54,27 @@ TEST(BlockingQueue, PopForTimesOutOnEmptyOpenQueue)
     EXPECT_FALSE(q.closed());
 }
 
+TEST(BlockingQueue, TryPushResultDistinguishesFullFromClosed)
+{
+    // Regression: the walk service reports *why* a submission was
+    // dropped.  A bare bool cannot tell a full queue from a closed one
+    // (the service used to re-probe closed() after the failed push and
+    // could misreport a racing close), so the outcome must be decided
+    // under the queue lock.
+    BlockingQueue<int> q(1);
+    EXPECT_EQ(q.try_push_result(1), PushOutcome::kPushed);
+    EXPECT_EQ(q.try_push_result(2), PushOutcome::kFull);
+    EXPECT_EQ(q.size(), 1u);
+
+    // Full AND closed: closed wins — the value could never be served.
+    q.close();
+    EXPECT_EQ(q.try_push_result(3), PushOutcome::kClosed);
+
+    // Empty and closed is still closed, never "full".
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.try_push_result(4), PushOutcome::kClosed);
+}
+
 TEST(BlockingQueue, CloseFailsPushesButDrainsRemainingElements)
 {
     BlockingQueue<int> q(8);

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -353,6 +355,144 @@ TEST(WalkService, DeadlineExpiresWhileQueued)
     EXPECT_EQ(service.counters().expired, 1u);
 }
 
+TEST(WalkService, DeadlineEnforcedAcrossBudgetWait)
+{
+    // Regression: a request whose deadline expired while its worker
+    // was blocked in budget_.reserve_wait used to run anyway (the wait
+    // ignored the deadline).  Pin the scenario: worker A's big batch
+    // holds most of the budget, worker B's request blocks on the
+    // result-buffer reservation past its own deadline — it must come
+    // back deadline-expired, not kOk (or burn the full retry budget).
+    Fixture s(graph::generate_uniform(2000, 8, 5), 4096);
+
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    cfg.batch_window_seconds = 0.0; // dispatch each request alone
+    // Room for one giant's result buffer, never two at once.
+    cfg.memory_budget =
+        WalkService::min_run_footprint(*s.file, *s.partition) +
+        (10ULL << 20);
+    cfg.cache_bytes = 0;
+    cfg.budget_wait_seconds = 0.25;
+    cfg.budget_retry_limit = 20;
+    WalkService service(*s.file, *s.partition, cfg);
+
+    // ~4 MiB of path buffers and ~1M steps: holds the budget while it
+    // runs, and runs far longer than the victim's deadline.
+    WalkRequest hog;
+    hog.kind = WalkKind::kPaths;
+    hog.starts.resize(1200);
+    for (std::size_t i = 0; i < hog.starts.size(); ++i) {
+        hog.starts[i] = static_cast<graph::VertexId>(i);
+    }
+    hog.walks_per_start = 8;
+    hog.length = 100;
+    hog.seed = 5;
+    WalkTicket hog_ticket = service.submit(hog);
+
+    // Wait until the hog's ~4 MiB result reservation is actually held
+    // before submitting the victim, so the victim deterministically
+    // blocks behind it.
+    const auto spin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service.budget().used() < (3ULL << 20) &&
+           std::chrono::steady_clock::now() < spin_deadline) {
+        std::this_thread::yield();
+    }
+    ASSERT_GE(service.budget().used(), 3ULL << 20)
+        << "hog never charged the budget";
+
+    // The victim's ~8 MiB reservation cannot coexist with the hog's
+    // ~4 MiB under the ~10.5 MiB limit, so its worker blocks in
+    // reserve_wait until the deadline lapses.
+    WalkRequest victim = hog;
+    victim.starts.resize(2400);
+    for (std::size_t i = 0; i < victim.starts.size(); ++i) {
+        victim.starts[i] = static_cast<graph::VertexId>(i % 2000);
+    }
+    victim.seed = 6;
+    victim.deadline_seconds = 0.01;
+    const WalkResult result = service.submit(victim).get();
+    EXPECT_EQ(result.status, WalkStatus::kDeadlineExpired)
+        << to_string(result.status) << ": " << result.error;
+    EXPECT_EQ(service.counters().expired, 1u);
+
+    EXPECT_EQ(hog_ticket.get().status, WalkStatus::kOk);
+    service.stop();
+    EXPECT_EQ(service.budget().used(), 0u);
+}
+
+TEST(WalkService, ShutdownUnderLoadConservesEverything)
+{
+    // N client threads hammer submit() while stop() runs: every
+    // request must get exactly one terminal status, the budget must
+    // drain to zero, and no queue may be left non-empty.
+    Fixture s(graph::generate_uniform(1000, 8, 5), 4096);
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    cfg.max_queue = 16;
+    cfg.max_batch = 4;
+    cfg.batch_window_seconds = 0.001;
+    cfg.memory_budget =
+        WalkService::min_run_footprint(*s.file, *s.partition) * 2 +
+        (8ULL << 20);
+    WalkService service(*s.file, *s.partition, cfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 30;
+    std::mutex ticket_mutex;
+    std::vector<WalkTicket> tickets;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                WalkRequest r;
+                r.starts = {static_cast<graph::VertexId>(
+                    (t * kPerThread + i) % 1000)};
+                r.walks_per_start = 2;
+                r.length = 6;
+                r.seed = 1 + static_cast<std::uint64_t>(
+                                 t * kPerThread + i);
+                r.tenant = static_cast<std::uint64_t>(t);
+                WalkTicket ticket = service.submit(r);
+                std::lock_guard lock(ticket_mutex);
+                tickets.push_back(std::move(ticket));
+            }
+        });
+    }
+    // Stop mid-flight, racing the submitters.
+    std::thread stopper([&] { service.stop(); });
+    for (std::thread &client : clients) {
+        client.join();
+    }
+    stopper.join();
+
+    ASSERT_EQ(tickets.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    std::uint64_t terminal = 0;
+    for (WalkTicket &ticket : tickets) {
+        ASSERT_TRUE(ticket.wait_for(30.0))
+            << "request " << ticket.id() << " never resolved";
+        const WalkResult result = ticket.get();
+        (void)result.status; // any terminal status is legal here
+        ++terminal;
+    }
+    EXPECT_EQ(terminal, static_cast<std::uint64_t>(kThreads *
+                                                   kPerThread));
+
+    const WalkService::Counters c = service.counters();
+    EXPECT_EQ(c.submitted,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(c.submitted, c.completed + c.failed +
+                               c.rejected_queue_full +
+                               c.rejected_tenant_queue +
+                               c.rejected_budget + c.expired +
+                               c.shutdown_dropped);
+    EXPECT_EQ(service.budget().used(), 0u);
+    EXPECT_EQ(service.submit_queue_depth(), 0u);
+    EXPECT_EQ(service.batch_queue_depth(), 0u);
+}
+
 TEST(WalkService, MalformedRequestsFailFast)
 {
     Fixture s(graph::generate_uniform(100, 8, 5), 4096);
@@ -384,6 +524,10 @@ TEST(WalkService, SubmitAfterStopReturnsShutdown)
     request.starts = {1};
     const WalkResult result = service.submit(request).get();
     EXPECT_EQ(result.status, WalkStatus::kShutdown);
+    // The rejection reason must be deterministic: a post-stop submit
+    // is shutdown, never misreported as a full queue.
+    EXPECT_EQ(service.counters().shutdown_dropped, 1u);
+    EXPECT_EQ(service.counters().rejected_queue_full, 0u);
 }
 
 TEST(WalkService, SharedCacheServesRepeatedRequests)

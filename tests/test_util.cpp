@@ -265,6 +265,42 @@ TEST(MemoryBudget, UnlimitedNeverThrows)
     EXPECT_EQ(budget.used(), 1ULL << 40);
 }
 
+TEST(MemoryBudget, SaturatingReserveNearUint64Max)
+{
+    // Regression: on an unlimited budget, cur + bytes used to wrap
+    // around UINT64_MAX and corrupt used_/peak_ (used() would come
+    // back tiny while two huge reservations were outstanding).
+    const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+    MemoryBudget budget(0);
+    EXPECT_TRUE(budget.try_reserve(max - 100));
+    EXPECT_EQ(budget.used(), max - 100);
+    EXPECT_TRUE(budget.try_reserve(1000)); // would wrap; saturates
+    EXPECT_EQ(budget.used(), max);
+    EXPECT_EQ(budget.peak(), max);
+
+    // Releases clamp at zero once saturation lost exact pairing, so
+    // the drain invariant (everything released ⇒ used() == 0) holds.
+    budget.release(1000);
+    budget.release(max - 100);
+    EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudget, OverflowingReserveRejectedUnderLimit)
+{
+    // Regression: under a finite limit, a wrapped cur + bytes could
+    // come out *below* the limit and slip a giant reservation past
+    // the cap.
+    const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+    MemoryBudget budget(1ULL << 20);
+    budget.reserve(100);
+    EXPECT_FALSE(budget.try_reserve(max - 50));
+    EXPECT_EQ(budget.used(), 100u);
+    EXPECT_THROW(budget.reserve(max - 50), BudgetExceeded);
+    EXPECT_EQ(budget.used(), 100u);
+    budget.release(100);
+    EXPECT_EQ(budget.used(), 0u);
+}
+
 TEST(Reservation, RaiiReleases)
 {
     MemoryBudget budget(100);
